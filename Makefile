@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus the engine and coordination
+# benches, at reduced scale.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/invariants
+	$(GO) run ./examples/rescue
+	$(GO) run ./examples/fleet
+	$(GO) run ./examples/coordination
+
+# Reduced-scale regeneration of every table and figure (minutes).
+experiments:
+	$(GO) run ./cmd/ldrbench -exp all
+
+# The paper's full setup (many hours on one core).
+experiments-full:
+	$(GO) run ./cmd/ldrbench -exp all -trials 10 -simtime 900s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,91 @@
+// Command ldrbench regenerates the tables and figures of the LDR paper's
+// evaluation (§4). Each experiment sweeps the paper's scenario parameters,
+// aggregates repeated trials into mean ± 95% confidence intervals, and
+// prints the same rows/series the paper reports.
+//
+//	ldrbench -exp all                        # reduced scale (minutes)
+//	ldrbench -exp table1 -simtime 900s -trials 10   # the paper's full setup
+//
+// Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/manetlab/ldr/internal/experiments"
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ldrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|all")
+		trials  = flag.Int("trials", 3, "trials (seeds) per configuration; paper: 10")
+		simTime = flag.Duration("simtime", 300*time.Second, "simulated time per run; paper: 900s")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		protos  = flag.String("protocols", "", "comma-separated protocol subset (default: ldr,aodv,dsr,olsr)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Trials:   *trials,
+		SimTime:  *simTime,
+		Out:      os.Stdout,
+		BaseSeed: *seed,
+	}
+	if *protos != "" {
+		for _, p := range strings.Split(*protos, ",") {
+			opts.Protocols = append(opts.Protocols, scenario.ProtocolName(strings.TrimSpace(p)))
+		}
+	}
+
+	type experiment struct {
+		name string
+		fn   func(experiments.Options) error
+	}
+	all := []experiment{
+		{"table1", experiments.Table1},
+		{"fig2", func(o experiments.Options) error {
+			return experiments.DeliveryFigure(o, "Fig 2", 50, 10)
+		}},
+		{"fig3", func(o experiments.Options) error {
+			return experiments.DeliveryFigure(o, "Fig 3", 50, 30)
+		}},
+		{"fig4", func(o experiments.Options) error {
+			return experiments.DeliveryFigure(o, "Fig 4", 100, 10)
+		}},
+		{"fig5", func(o experiments.Options) error {
+			return experiments.DeliveryFigure(o, "Fig 5", 100, 30)
+		}},
+		{"fig6", experiments.Fig6},
+		{"fig7", experiments.Fig7},
+		{"ablation", experiments.Ablation},
+	}
+
+	if *exp == "all" {
+		for _, e := range all {
+			start := time.Now()
+			if err := e.fn(opts); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			fmt.Printf("[%s done in %v]\n", e.name, time.Since(start).Round(time.Second))
+		}
+		return nil
+	}
+	for _, e := range all {
+		if e.name == *exp {
+			return e.fn(opts)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", *exp)
+}

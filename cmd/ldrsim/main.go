@@ -1,0 +1,80 @@
+// Command ldrsim runs one ad hoc network simulation and prints its
+// metrics. It is the exploration tool; cmd/ldrbench regenerates the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	ldrsim -proto ldr -nodes 50 -flows 10 -pause 60s -simtime 300s -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ldrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		proto   = flag.String("proto", "ldr", "routing protocol: ldr|aodv|dsr|dsr7|olsr|olsr-nojitter")
+		nodes   = flag.Int("nodes", 50, "number of nodes")
+		width   = flag.Float64("width", 1500, "terrain width (m)")
+		height  = flag.Float64("height", 300, "terrain height (m)")
+		flows   = flag.Int("flows", 10, "concurrent CBR flows")
+		pause   = flag.Duration("pause", 60*time.Second, "random-waypoint pause time")
+		speed   = flag.Float64("maxspeed", 20, "maximum node speed (m/s)")
+		simTime = flag.Duration("simtime", 300*time.Second, "simulated duration")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := scenario.Config{
+		Protocol:  scenario.ProtocolName(*proto),
+		Nodes:     *nodes,
+		Terrain:   mobility.Terrain{Width: *width, Height: *height},
+		Flows:     *flows,
+		PauseTime: *pause,
+		MinSpeed:  1,
+		MaxSpeed:  *speed,
+		SimTime:   *simTime,
+		Seed:      *seed,
+	}
+
+	start := time.Now()
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return err
+	}
+	c := res.Collector
+
+	fmt.Printf("protocol         %s\n", cfg.Protocol)
+	fmt.Printf("scenario         %d nodes, %.0fx%.0f m, %d flows, pause %v, %v sim\n",
+		cfg.Nodes, cfg.Terrain.Width, cfg.Terrain.Height, cfg.Flows, cfg.PauseTime, cfg.SimTime)
+	fmt.Printf("data initiated   %d\n", c.DataInitiated)
+	fmt.Printf("data delivered   %d\n", c.DataDelivered)
+	fmt.Printf("delivery ratio   %.2f%%\n", 100*c.DeliveryRatio())
+	fmt.Printf("mean latency     %v\n", c.MeanLatency().Round(time.Microsecond))
+	fmt.Printf("latency p50/p95  %v / %v (p99 %v, max %v)\n",
+		c.Latency.Percentile(50), c.Latency.Percentile(95),
+		c.Latency.Percentile(99), c.Latency.Max().Round(time.Millisecond))
+	fmt.Printf("network load     %.3f control pkts / delivered pkt\n", c.NetworkLoad())
+	fmt.Printf("rreq load        %.3f RREQ transmissions / delivered pkt\n", c.RREQLoad())
+	fmt.Printf("rrep init        %.3f RREPs initiated / RREQ initiated\n", c.RREPInitPerRREQ())
+	fmt.Printf("rrep recv        %.3f usable RREPs / RREQ initiated\n", c.RREPRecvPerRREQ())
+	fmt.Printf("mean path length %.2f hops\n", c.MeanHops())
+	if c.SeqnoCount > 0 {
+		fmt.Printf("mean dest seqno  %.2f\n", c.MeanSeqno())
+	}
+	fmt.Printf("sim events       %d (%.1fs wall)\n", res.Events, time.Since(start).Seconds())
+	return nil
+}

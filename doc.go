@@ -1,0 +1,26 @@
+// Package ldr is a from-scratch reproduction of "A New Approach to
+// On-Demand Loop-Free Routing in Ad Hoc Networks" (Garcia-Luna-Aceves,
+// Mosko, Perkins — PODC 2003): the Labeled Distance Routing protocol, the
+// AODV/DSR/OLSR baselines it is evaluated against, and the discrete-event
+// wireless network simulator the evaluation runs on.
+//
+// The facade in this package re-exports the pieces most users need; the
+// full surface lives in the internal packages:
+//
+//   - internal/core — the LDR protocol (the paper's contribution)
+//   - internal/aodv, internal/dsr, internal/olsr — baselines
+//   - internal/sim, internal/radio, internal/mac — the simulator substrate
+//   - internal/mobility, internal/traffic — workload models
+//   - internal/scenario, internal/experiments — the paper's evaluation
+//   - internal/loopcheck — runtime verification of the loop-freedom and
+//     ordering-criterion invariants (Theorems 2 and 4)
+//
+// Quick start:
+//
+//	cfg := ldr.Scenario50(ldr.ProtoLDR, 10, 60*time.Second, 1)
+//	res, err := ldr.RunScenario(cfg)
+//	fmt.Println(res.Collector.DeliveryRatio())
+//
+// See examples/quickstart for assembling a network by hand, and
+// cmd/ldrbench for regenerating every table and figure in the paper.
+package ldr

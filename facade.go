@@ -1,0 +1,40 @@
+package ldr
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+// ProtocolName selects a routing protocol for a scenario.
+type ProtocolName = scenario.ProtocolName
+
+// The protocols evaluated in the paper.
+const (
+	ProtoLDR  = scenario.LDR
+	ProtoAODV = scenario.AODV
+	ProtoDSR  = scenario.DSR
+	ProtoDSR7 = scenario.DSR7
+	ProtoOLSR = scenario.OLSR
+)
+
+// ScenarioConfig describes one simulation run (see internal/scenario).
+type ScenarioConfig = scenario.Config
+
+// ScenarioResult carries a finished run's metrics.
+type ScenarioResult = scenario.Result
+
+// Scenario50 returns the paper's 50-node, 1500 m × 300 m scenario.
+func Scenario50(proto ProtocolName, flows int, pause time.Duration, seed int64) ScenarioConfig {
+	return scenario.Nodes50(proto, flows, pause, seed)
+}
+
+// Scenario100 returns the paper's 100-node, 2200 m × 600 m scenario.
+func Scenario100(proto ProtocolName, flows int, pause time.Duration, seed int64) ScenarioConfig {
+	return scenario.Nodes100(proto, flows, pause, seed)
+}
+
+// RunScenario executes a scenario to completion and returns its metrics.
+func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	return scenario.Run(cfg)
+}

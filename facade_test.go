@@ -1,0 +1,44 @@
+package ldr_test
+
+import (
+	"testing"
+	"time"
+
+	ldr "github.com/manetlab/ldr"
+)
+
+func TestFacadeRunsScenario(t *testing.T) {
+	cfg := ldr.Scenario50(ldr.ProtoLDR, 5, 0, 1)
+	cfg.Nodes = 15
+	cfg.SimTime = 30 * time.Second
+	res, err := ldr.RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.DataInitiated == 0 {
+		t.Fatal("facade run produced no traffic")
+	}
+	if res.Collector.DeliveryRatio() <= 0 {
+		t.Fatal("facade run delivered nothing")
+	}
+}
+
+func TestFacadeScenarioShapes(t *testing.T) {
+	c50 := ldr.Scenario50(ldr.ProtoAODV, 10, time.Minute, 2)
+	if c50.Nodes != 50 || c50.Terrain.Width != 1500 || c50.Terrain.Height != 300 {
+		t.Fatalf("Scenario50 = %+v", c50)
+	}
+	c100 := ldr.Scenario100(ldr.ProtoOLSR, 30, 0, 3)
+	if c100.Nodes != 100 || c100.Terrain.Width != 2200 || c100.Terrain.Height != 600 {
+		t.Fatalf("Scenario100 = %+v", c100)
+	}
+}
+
+func TestFacadeRejectsUnknownProtocol(t *testing.T) {
+	cfg := ldr.Scenario50("not-a-protocol", 5, 0, 1)
+	cfg.Nodes = 5
+	cfg.SimTime = time.Second
+	if _, err := ldr.RunScenario(cfg); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/manetlab/ldr
+
+go 1.22

@@ -1,0 +1,692 @@
+// Package aodv implements the Ad hoc On-demand Distance Vector protocol
+// (Perkins, Belding-Royer, Das — draft-ietf-manet-aodv-10), the primary
+// baseline in the LDR paper.
+//
+// AODV's loop-freedom rests entirely on per-destination sequence numbers:
+// a node that loses a route increments its *stored copy* of the
+// destination's sequence number before rediscovering, which prevents any
+// upstream node from answering with stale state — but also silences
+// downstream nodes that still hold perfectly good loop-free routes with
+// the prior number. That asymmetry (and the resulting sequence-number
+// inflation, Fig. 7 of the paper) is exactly what LDR's feasible-distance
+// label removes.
+package aodv
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// Config carries AODV's protocol constants (draft-10 defaults).
+type Config struct {
+	ActiveRouteTimeout time.Duration
+	MyRouteTimeout     time.Duration
+	NodeTraversalTime  time.Duration
+	NetDiameter        int
+	TTLStart           int
+	TTLIncrement       int
+	TTLThreshold       int
+	RREQRetries        int
+	RREQCacheLife      time.Duration
+	MaxQueuedPerDest   int
+	BroadcastJitter    time.Duration
+	DestinationOnly    bool // D flag: only the destination may answer
+	GratuitousRREP     bool // notify the destination on intermediate replies
+
+	// UseHello enables periodic HELLO beacons for neighbor liveness in
+	// place of relying solely on MAC-layer feedback (draft-10 §8.4).
+	UseHello         bool
+	HelloInterval    time.Duration
+	AllowedHelloLoss int
+
+	// LocalRepair lets a relay close to the destination repair a broken
+	// route in place with a small-TTL discovery instead of dropping the
+	// packet and pushing a RERR all the way upstream (draft-10 §8.12).
+	LocalRepair   bool
+	MaxRepairHops int
+}
+
+// DefaultConfig returns the draft-10 defaults used in the paper's
+// simulations.
+func DefaultConfig() Config {
+	return Config{
+		ActiveRouteTimeout: 3 * time.Second,
+		MyRouteTimeout:     6 * time.Second,
+		NodeTraversalTime:  40 * time.Millisecond,
+		NetDiameter:        35,
+		TTLStart:           2,
+		TTLIncrement:       2,
+		TTLThreshold:       7,
+		RREQRetries:        2,
+		RREQCacheLife:      6 * time.Second,
+		MaxQueuedPerDest:   16,
+		BroadcastJitter:    10 * time.Millisecond,
+
+		HelloInterval:    time.Second,
+		AllowedHelloLoss: 2,
+		MaxRepairHops:    3,
+	}
+}
+
+// RREQ is an AODV route request.
+type RREQ struct {
+	Dst        routing.NodeID
+	DstSeq     uint32
+	UnknownSeq bool
+	Origin     routing.NodeID
+	OriginSeq  uint32
+	ReqID      uint32
+	HopCount   int
+	TTL        int
+}
+
+// Kind implements routing.Message.
+func (RREQ) Kind() metrics.ControlKind { return metrics.RREQ }
+
+// Size implements routing.Message.
+func (q RREQ) Size() int { return len(q.Marshal()) }
+
+// RREP is an AODV route reply.
+type RREP struct {
+	Dst      routing.NodeID
+	DstSeq   uint32
+	Origin   routing.NodeID
+	HopCount int
+	Lifetime time.Duration
+}
+
+// Kind implements routing.Message.
+func (RREP) Kind() metrics.ControlKind { return metrics.RREP }
+
+// Size implements routing.Message.
+func (p RREP) Size() int { return len(p.Marshal()) }
+
+// RERRDest names one newly unreachable destination.
+type RERRDest struct {
+	Dst routing.NodeID
+	Seq uint32 // the incremented sequence number
+}
+
+// RERR reports broken routes.
+type RERR struct {
+	Unreachable []RERRDest
+}
+
+// Kind implements routing.Message.
+func (RERR) Kind() metrics.ControlKind { return metrics.RERR }
+
+// Size implements routing.Message.
+func (e RERR) Size() int { return len(e.Marshal()) }
+
+// entry is one AODV routing-table row.
+type entry struct {
+	seq        uint32
+	haveSeq    bool
+	hops       int
+	next       routing.NodeID
+	valid      bool
+	expiry     time.Duration
+	precursors map[routing.NodeID]struct{}
+}
+
+func (e *entry) active(now time.Duration) bool {
+	return e != nil && e.valid && e.expiry > now
+}
+
+func (e *entry) refresh(now, lifetime time.Duration) {
+	if exp := now + lifetime; exp > e.expiry {
+		e.expiry = exp
+	}
+}
+
+type reqKey struct {
+	origin routing.NodeID
+	id     uint32
+}
+
+type discovery struct {
+	id      uint32
+	ttl     int
+	retries int
+	timer   *sim.Event
+}
+
+// AODV is one node's protocol instance.
+type AODV struct {
+	node *routing.Node
+	cfg  Config
+
+	ownSeq     uint32
+	routes     map[routing.NodeID]*entry
+	reqSeen    map[reqKey]time.Duration
+	pending    map[routing.NodeID][]*routing.DataPacket
+	active     map[routing.NodeID]*discovery
+	lastHeard  map[routing.NodeID]time.Duration // hello liveness per neighbor
+	repairing  map[routing.NodeID]bool          // destinations under local repair
+	helloTimer *sim.Event
+	nextReqID  uint32
+	stopped    bool
+}
+
+var (
+	_ routing.Protocol         = (*AODV)(nil)
+	_ routing.TableSnapshotter = (*AODV)(nil)
+)
+
+// New builds an AODV instance bound to a node.
+func New(node *routing.Node, cfg Config) *AODV {
+	return &AODV{
+		node:      node,
+		cfg:       cfg,
+		routes:    make(map[routing.NodeID]*entry),
+		reqSeen:   make(map[reqKey]time.Duration),
+		pending:   make(map[routing.NodeID][]*routing.DataPacket),
+		active:    make(map[routing.NodeID]*discovery),
+		lastHeard: make(map[routing.NodeID]time.Duration),
+		repairing: make(map[routing.NodeID]bool),
+	}
+}
+
+// Start implements routing.Protocol.
+func (a *AODV) Start() {
+	if a.cfg.UseHello {
+		a.startHello()
+	}
+}
+
+// Stop implements routing.Protocol.
+func (a *AODV) Stop() {
+	a.stopped = true
+	for _, d := range a.active {
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+	}
+	if a.helloTimer != nil {
+		a.helloTimer.Cancel()
+	}
+}
+
+// --- data plane ---
+
+// Originate implements routing.Protocol.
+func (a *AODV) Originate(pkt *routing.DataPacket) { a.sendOrQueue(pkt) }
+
+// HandleData implements routing.Protocol.
+func (a *AODV) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
+	if pkt.Dst == a.node.ID() {
+		a.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		a.node.DropData(pkt)
+		return
+	}
+	a.sendOrQueue(pkt)
+}
+
+func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
+	now := a.node.Now()
+	e := a.routes[pkt.Dst]
+	if e.active(now) {
+		e.refresh(now, a.cfg.ActiveRouteTimeout)
+		next := e.next
+		a.node.SendData(next, pkt, nil, func() { a.linkFailure(next, pkt) })
+		return
+	}
+	if pkt.Src == a.node.ID() {
+		a.queuePacket(pkt)
+		a.solicit(pkt.Dst)
+		return
+	}
+	a.node.DropData(pkt)
+	// A relay with no route reports the destination unreachable so that
+	// upstream holders of the stale route purge it.
+	seq := uint32(0)
+	if e != nil {
+		seq = e.seq + 1
+	}
+	a.sendRERR([]RERRDest{{Dst: pkt.Dst, Seq: seq}})
+}
+
+func (a *AODV) queuePacket(pkt *routing.DataPacket) {
+	q := a.pending[pkt.Dst]
+	if len(q) >= a.cfg.MaxQueuedPerDest {
+		a.node.DropData(q[0])
+		q = q[1:]
+	}
+	a.pending[pkt.Dst] = append(q, pkt)
+}
+
+func (a *AODV) flushPending(dst routing.NodeID) {
+	delete(a.repairing, dst)
+	q := a.pending[dst]
+	if len(q) == 0 {
+		return
+	}
+	delete(a.pending, dst)
+	for _, pkt := range q {
+		a.sendOrQueue(pkt)
+	}
+}
+
+// linkFailure invalidates routes through the broken next hop. AODV
+// increments each invalidated destination's stored sequence number — the
+// mechanism whose side effects the LDR paper analyzes.
+func (a *AODV) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
+	if a.stopped {
+		return
+	}
+	var broken []RERRDest
+	for dst, e := range a.routes {
+		if e.valid && e.next == next {
+			e.seq++
+			e.valid = false
+			broken = append(broken, RERRDest{Dst: dst, Seq: e.seq})
+		}
+	}
+	if pkt.Src != a.node.ID() && a.cfg.LocalRepair && a.canRepair(pkt.Dst) {
+		// Local repair: hold the RERR, buffer the packet, and try a
+		// small-TTL rediscovery from here (the stored seq was already
+		// incremented above, so stale upstream state cannot answer).
+		a.queuePacket(pkt)
+		a.repairing[pkt.Dst] = true
+		a.solicit(pkt.Dst)
+		// Report the other broken destinations normally.
+		var others []RERRDest
+		for _, b := range broken {
+			if b.Dst != pkt.Dst {
+				others = append(others, b)
+			}
+		}
+		if len(others) > 0 {
+			a.sendRERR(others)
+		}
+		return
+	}
+	if len(broken) > 0 {
+		a.sendRERR(broken)
+	}
+	if pkt.Src == a.node.ID() {
+		a.queuePacket(pkt)
+		a.solicit(pkt.Dst)
+	} else {
+		a.node.DropData(pkt)
+	}
+}
+
+// canRepair limits local repair to destinations that were recently close
+// (draft-10 bounds the repair to MAX_REPAIR_TTL).
+func (a *AODV) canRepair(dst routing.NodeID) bool {
+	e := a.routes[dst]
+	return e != nil && e.hops > 0 && e.hops <= a.cfg.MaxRepairHops
+}
+
+// --- route discovery ---
+
+func (a *AODV) solicit(dst routing.NodeID) {
+	if a.stopped || dst == a.node.ID() {
+		return
+	}
+	if _, ok := a.active[dst]; ok {
+		return
+	}
+	a.nextReqID++
+	d := &discovery{id: a.nextReqID, ttl: a.initialTTL(dst)}
+	a.active[dst] = d
+	a.broadcastRREQ(dst, d)
+}
+
+func (a *AODV) initialTTL(dst routing.NodeID) int {
+	if e := a.routes[dst]; e != nil && e.hops > 0 {
+		ttl := e.hops + a.cfg.TTLIncrement
+		if ttl > a.cfg.NetDiameter {
+			ttl = a.cfg.NetDiameter
+		}
+		return ttl
+	}
+	return a.cfg.TTLStart
+}
+
+func (a *AODV) broadcastRREQ(dst routing.NodeID, d *discovery) {
+	// "When node A sends a route request for a destination, it increases
+	// the sequence number for itself as well."
+	a.ownSeq++
+	q := RREQ{
+		Dst:        dst,
+		UnknownSeq: true,
+		Origin:     a.node.ID(),
+		OriginSeq:  a.ownSeq,
+		ReqID:      d.id,
+		TTL:        d.ttl,
+	}
+	if e := a.routes[dst]; e != nil && e.haveSeq {
+		q.DstSeq = e.seq
+		q.UnknownSeq = false
+	}
+	a.node.Metrics().CountControlInitiate(metrics.RREQ)
+	a.node.SendControl(routing.BroadcastID, q, nil)
+
+	timeout := 2 * time.Duration(d.ttl) * a.cfg.NodeTraversalTime
+	d.timer = a.node.Schedule(timeout, func() { a.discoveryTimeout(dst, d) })
+}
+
+func (a *AODV) discoveryTimeout(dst routing.NodeID, d *discovery) {
+	if a.stopped || a.active[dst] != d {
+		return
+	}
+	if d.ttl >= a.cfg.NetDiameter || (a.repairing[dst] && d.retries > 0) {
+		d.retries++
+		if d.retries > a.cfg.RREQRetries || a.repairing[dst] {
+			delete(a.active, dst)
+			for _, pkt := range a.pending[dst] {
+				a.node.DropData(pkt)
+			}
+			delete(a.pending, dst)
+			if a.repairing[dst] {
+				// Repair failed: emit the deferred RERR.
+				delete(a.repairing, dst)
+				if e := a.routes[dst]; e != nil {
+					a.sendRERR([]RERRDest{{Dst: dst, Seq: e.seq}})
+				}
+			}
+			return
+		}
+	} else {
+		d.ttl += a.cfg.TTLIncrement
+		if d.ttl > a.cfg.TTLThreshold {
+			d.ttl = a.cfg.NetDiameter
+		}
+	}
+	a.nextReqID++
+	d.id = a.nextReqID
+	a.broadcastRREQ(dst, d)
+}
+
+// --- control plane ---
+
+// HandleControl implements routing.Protocol.
+func (a *AODV) HandleControl(from routing.NodeID, msg routing.Message) {
+	if a.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case RREQ:
+		a.handleRREQ(from, m)
+	case RREP:
+		a.handleRREP(from, m)
+	case RERR:
+		a.handleRERR(from, m)
+	case Hello:
+		a.handleHello(from, m)
+	}
+}
+
+func (a *AODV) handleRREQ(from routing.NodeID, q RREQ) {
+	me := a.node.ID()
+	if q.Origin == me {
+		return
+	}
+	now := a.node.Now()
+	key := reqKey{origin: q.Origin, id: q.ReqID}
+	if _, seen := a.reqSeen[key]; seen {
+		return
+	}
+	a.reqSeen[key] = now
+	a.node.Schedule(a.cfg.RREQCacheLife, func() {
+		if t, ok := a.reqSeen[key]; ok && now == t {
+			delete(a.reqSeen, key)
+		}
+	})
+
+	a.installReverse(q.Origin, q.OriginSeq, q.HopCount, from)
+
+	if q.Dst == me {
+		// RFC: update own sequence number to max(own, requested).
+		if !q.UnknownSeq && q.DstSeq > a.ownSeq {
+			a.ownSeq = q.DstSeq
+		}
+		a.reply(RREP{
+			Dst:      me,
+			DstSeq:   a.ownSeq,
+			Origin:   q.Origin,
+			HopCount: 0,
+			Lifetime: a.cfg.MyRouteTimeout,
+		}, q.Origin)
+		return
+	}
+
+	e := a.routes[q.Dst]
+	canAnswer := !a.cfg.DestinationOnly && e.active(now) && e.haveSeq &&
+		(!q.UnknownSeq && e.seq >= q.DstSeq || q.UnknownSeq)
+	if canAnswer {
+		// Intermediate reply: the sequence-number ordering guarantees no
+		// node upstream of the breakpoint can answer, because the origin
+		// incremented the stored number past anything they hold.
+		e.precursor(from)
+		a.reply(RREP{
+			Dst:      q.Dst,
+			DstSeq:   e.seq,
+			Origin:   q.Origin,
+			HopCount: e.hops,
+			Lifetime: e.expiry - now,
+		}, q.Origin)
+		if a.cfg.GratuitousRREP {
+			a.gratuitousRREP(q, e, now)
+		}
+		return
+	}
+
+	q.TTL--
+	if q.TTL <= 0 {
+		return
+	}
+	q.HopCount++
+	// Relays advertise the highest destination sequence number they know.
+	if e != nil && e.haveSeq && (q.UnknownSeq || e.seq > q.DstSeq) {
+		q.DstSeq = e.seq
+		q.UnknownSeq = false
+	}
+	rq := q
+	jitter := time.Duration(a.node.RNG().Float64() * float64(a.cfg.BroadcastJitter))
+	a.node.Schedule(jitter, func() {
+		if a.stopped {
+			return
+		}
+		a.node.SendControl(routing.BroadcastID, rq, nil)
+	})
+}
+
+// reply unicasts a RREP toward origin along the reverse route.
+func (a *AODV) reply(p RREP, origin routing.NodeID) {
+	rev := a.routes[origin]
+	if !rev.active(a.node.Now()) {
+		return
+	}
+	a.node.Metrics().CountControlInitiate(metrics.RREP)
+	a.node.SendControl(rev.next, p, nil)
+}
+
+// gratuitousRREP tells the destination about the origin when an
+// intermediate node short-circuits discovery, so reverse traffic works.
+func (a *AODV) gratuitousRREP(q RREQ, e *entry, now time.Duration) {
+	g := RREP{
+		Dst:      q.Origin,
+		DstSeq:   q.OriginSeq,
+		Origin:   q.Dst,
+		HopCount: q.HopCount,
+		Lifetime: a.cfg.ActiveRouteTimeout,
+	}
+	a.node.Metrics().CountControlInitiate(metrics.RREP)
+	a.node.SendControl(e.next, g, nil)
+}
+
+func (a *AODV) handleRREP(from routing.NodeID, p RREP) {
+	me := a.node.ID()
+	now := a.node.Now()
+
+	usable := false
+	if p.Dst != me {
+		usable = a.installForward(p, from)
+		if usable {
+			a.node.Metrics().RREPUsable++
+			a.flushPending(p.Dst)
+		}
+	}
+
+	if p.Origin == me {
+		if d, ok := a.active[p.Dst]; ok && usable {
+			if d.timer != nil {
+				d.timer.Cancel()
+			}
+			delete(a.active, p.Dst)
+		}
+		return
+	}
+
+	// Forward along the reverse route toward the origin.
+	rev := a.routes[p.Origin]
+	if !rev.active(now) {
+		return
+	}
+	fwd := p
+	fwd.HopCount++
+	if e := a.routes[p.Dst]; e != nil {
+		e.precursor(rev.next)
+	}
+	rev.refresh(now, a.cfg.ActiveRouteTimeout)
+	a.node.SendControl(rev.next, fwd, nil)
+}
+
+func (a *AODV) handleRERR(from routing.NodeID, e RERR) {
+	var propagate []RERRDest
+	for _, u := range e.Unreachable {
+		ent := a.routes[u.Dst]
+		if ent != nil && ent.valid && ent.next == from {
+			if u.Seq > ent.seq {
+				ent.seq = u.Seq
+			}
+			ent.valid = false
+			propagate = append(propagate, RERRDest{Dst: u.Dst, Seq: ent.seq})
+		}
+	}
+	if len(propagate) > 0 {
+		a.sendRERR(propagate)
+	}
+}
+
+func (a *AODV) sendRERR(broken []RERRDest) {
+	a.node.Metrics().CountControlInitiate(metrics.RERR)
+	a.node.SendControl(routing.BroadcastID, RERR{Unreachable: broken}, nil)
+}
+
+// --- routing table updates ---
+
+// installReverse creates/updates the reverse route to a RREQ origin.
+func (a *AODV) installReverse(origin routing.NodeID, seq uint32, hops int, via routing.NodeID) {
+	if origin == a.node.ID() {
+		return
+	}
+	now := a.node.Now()
+	d := hops + 1
+	e := a.routes[origin]
+	if e == nil {
+		a.routes[origin] = &entry{
+			seq: seq, haveSeq: true, hops: d, next: via, valid: true,
+			expiry:     now + a.cfg.ActiveRouteTimeout,
+			precursors: make(map[routing.NodeID]struct{}),
+		}
+		return
+	}
+	if !e.haveSeq || seq > e.seq || (seq == e.seq && (!e.active(now) || d < e.hops)) {
+		e.seq, e.haveSeq = seq, true
+		e.hops = d
+		e.next = via
+		e.valid = true
+		e.refresh(now, a.cfg.ActiveRouteTimeout)
+	}
+}
+
+// installForward applies the RREP acceptance rule (draft-10 §8.7): accept
+// if the sequence number is newer, or equally new with an invalid or
+// longer current route.
+func (a *AODV) installForward(p RREP, via routing.NodeID) bool {
+	now := a.node.Now()
+	d := p.HopCount + 1
+	life := p.Lifetime
+	if life <= 0 {
+		life = a.cfg.ActiveRouteTimeout
+	}
+	e := a.routes[p.Dst]
+	if e == nil {
+		a.routes[p.Dst] = &entry{
+			seq: p.DstSeq, haveSeq: true, hops: d, next: via, valid: true,
+			expiry:     now + life,
+			precursors: make(map[routing.NodeID]struct{}),
+		}
+		return true
+	}
+	accept := !e.haveSeq || p.DstSeq > e.seq ||
+		(p.DstSeq == e.seq && (!e.active(now) || d < e.hops))
+	if !accept {
+		return false
+	}
+	e.seq, e.haveSeq = p.DstSeq, true
+	e.hops = d
+	e.next = via
+	e.valid = true
+	e.expiry = now + life
+	return true
+}
+
+func (e *entry) precursor(n routing.NodeID) {
+	if e.precursors == nil {
+		e.precursors = make(map[routing.NodeID]struct{})
+	}
+	e.precursors[n] = struct{}{}
+}
+
+// --- observability ---
+
+// SnapshotTable implements routing.TableSnapshotter.
+func (a *AODV) SnapshotTable() []routing.RouteEntry {
+	now := a.node.Now()
+	out := make([]routing.RouteEntry, 0, len(a.routes))
+	for dst, e := range a.routes {
+		out = append(out, routing.RouteEntry{
+			Dst:    dst,
+			Next:   e.next,
+			Metric: e.hops,
+			SeqNo:  uint64(e.seq),
+			Valid:  e.active(now),
+		})
+	}
+	return out
+}
+
+// ReportSeqnos records every stored destination sequence number plus the
+// node's own (Fig. 7: AODV's numbers inflate with mobility; LDR's do not).
+func (a *AODV) ReportSeqnos(col *metrics.Collector) {
+	col.ObserveSeqno(float64(a.ownSeq))
+	for _, e := range a.routes {
+		if e.haveSeq {
+			col.ObserveSeqno(float64(e.seq))
+		}
+	}
+}
+
+// RouteTo exposes (next hop, hop count, ok) for tests and examples.
+func (a *AODV) RouteTo(dst routing.NodeID) (routing.NodeID, int, bool) {
+	e := a.routes[dst]
+	if !e.active(a.node.Now()) {
+		return 0, 0, false
+	}
+	return e.next, e.hops, true
+}
+
+// OwnSeq exposes the node's own sequence number.
+func (a *AODV) OwnSeq() uint32 { return a.ownSeq }

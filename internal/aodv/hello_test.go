@@ -1,0 +1,120 @@
+package aodv_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/aodv"
+	"github.com/manetlab/ldr/internal/mac"
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+func buildCfgNet(model mobility.Model, seed int64, cfg aodv.Config) *routing.Network {
+	return routing.NewNetwork(model.NumNodes(), model, radio.DefaultConfig(), mac.DefaultConfig(), seed,
+		func(node *routing.Node) routing.Protocol {
+			return aodv.New(node, cfg)
+		})
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := aodv.Hello{Origin: 7, Seq: 99}
+	got, err := aodv.UnmarshalHello(h.Marshal())
+	if err != nil || !reflect.DeepEqual(got, h) {
+		t.Fatalf("round trip: %+v != %+v (%v)", got, h, err)
+	}
+}
+
+func TestHellosOnlyFromActiveNodes(t *testing.T) {
+	cfg := aodv.DefaultConfig()
+	cfg.UseHello = true
+	nw := buildCfgNet(mobility.Line(3, 250), 3, cfg)
+	nw.Start()
+	// No traffic at all: no node holds an active route, so no hellos.
+	nw.Sim.Run(10 * time.Second)
+	if got := nw.Collector.ControlInitiated(metrics.Hello); got != 0 {
+		t.Fatalf("%d hellos beaconed with no active routes", got)
+	}
+
+	// With traffic, hellos flow.
+	nw2 := buildCfgNet(mobility.Line(3, 250), 3, cfg)
+	nw2.Start()
+	for ts := time.Second; ts < 9*time.Second; ts += 250 * time.Millisecond {
+		nw2.Sim.At(ts, func() { nw2.Nodes[0].OriginateData(2, 64) })
+	}
+	nw2.Sim.Run(10 * time.Second)
+	if got := nw2.Collector.ControlInitiated(metrics.Hello); got == 0 {
+		t.Fatal("no hellos beaconed despite active routes")
+	}
+}
+
+func TestHelloLossDetectsBreak(t *testing.T) {
+	// Node 2 departs; with hellos enabled, node 1 must invalidate even
+	// without trying to send data (pure liveness detection).
+	tracks := [][]mobility.ScriptLeg{
+		{{At: 0, Pos: mobility.Point{X: 0}}},
+		{{At: 0, Pos: mobility.Point{X: 250}}},
+		{
+			{At: 0, Pos: mobility.Point{X: 500}},
+			{At: 4 * time.Second, Pos: mobility.Point{X: 500}},
+			{At: 5 * time.Second, Pos: mobility.Point{X: 500, Y: 3000}},
+		},
+	}
+	cfg := aodv.DefaultConfig()
+	cfg.UseHello = true
+	nw := buildCfgNet(mobility.NewScript(tracks), 4, cfg)
+	nw.Start()
+	// Prime the route 0→2 then stop sending entirely at t=3.5s.
+	for ts := time.Second; ts < 3500*time.Millisecond; ts += 250 * time.Millisecond {
+		nw.Sim.At(ts, func() { nw.Nodes[0].OriginateData(2, 64) })
+	}
+	nw.Sim.Run(12 * time.Second)
+
+	if nw.Collector.ControlInitiated(metrics.RERR) == 0 {
+		t.Fatal("hello loss produced no RERR")
+	}
+	if _, _, ok := nw.Nodes[1].Protocol().(*aodv.AODV).RouteTo(2); ok {
+		t.Fatal("node 1 still routes to the silent departed neighbor")
+	}
+}
+
+func TestLocalRepairAvoidsSourceRediscovery(t *testing.T) {
+	// Chain 0-1-2-3 plus a bypass node 4 near the 2-3 gap. When node 3
+	// drifts out of 2's range but stays within 4's, node 2 repairs
+	// locally (dst was 1 hop away) and the origin never rediscovers.
+	tracks := [][]mobility.ScriptLeg{
+		{{At: 0, Pos: mobility.Point{X: 0}}},
+		{{At: 0, Pos: mobility.Point{X: 250}}},
+		{{At: 0, Pos: mobility.Point{X: 500}}},
+		{ // destination drifts
+			{At: 0, Pos: mobility.Point{X: 750, Y: 0}},
+			{At: 4 * time.Second, Pos: mobility.Point{X: 750, Y: 0}},
+			{At: 8 * time.Second, Pos: mobility.Point{X: 760, Y: 400}},
+		},
+		{{At: 0, Pos: mobility.Point{X: 600, Y: 220}}}, // bypass relay
+	}
+	run := func(repair bool) (origRREQs uint64, delivery float64) {
+		cfg := aodv.DefaultConfig()
+		cfg.LocalRepair = repair
+		nw := buildCfgNet(mobility.NewScript(tracks), 6, cfg)
+		nw.Start()
+		for ts := time.Second; ts < 20*time.Second; ts += 250 * time.Millisecond {
+			nw.Sim.At(ts, func() { nw.Nodes[0].OriginateData(3, 64) })
+		}
+		nw.Sim.Run(22 * time.Second)
+		return nw.Collector.ControlInitiated(metrics.RREQ), nw.Collector.DeliveryRatio()
+	}
+
+	_, plainDelivery := run(false)
+	_, repairDelivery := run(true)
+
+	if repairDelivery < plainDelivery-0.02 {
+		t.Fatalf("local repair hurt delivery: %.3f vs %.3f", repairDelivery, plainDelivery)
+	}
+	if repairDelivery < 0.9 {
+		t.Fatalf("delivery with local repair = %.3f, want ≥ 0.9", repairDelivery)
+	}
+}

@@ -1,0 +1,98 @@
+package aodv
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/wire"
+)
+
+const flagUnknownSeq = 1 << 0
+
+// Marshal encodes the RREQ to its wire format.
+func (q RREQ) Marshal() []byte {
+	var flags uint8
+	if q.UnknownSeq {
+		flags |= flagUnknownSeq
+	}
+	return wire.NewEncoder(wire.TypeAODVRREQ).
+		U8(flags).
+		Node(int(q.Dst)).
+		U32(q.DstSeq).
+		Node(int(q.Origin)).
+		U32(q.OriginSeq).
+		U32(q.ReqID).
+		U8(uint8(min(q.HopCount, 255))).
+		U8(uint8(max(min(q.TTL, 255), 0))).
+		Bytes()
+}
+
+// UnmarshalRREQ decodes an AODV RREQ.
+func UnmarshalRREQ(b []byte) (RREQ, error) {
+	d, err := wire.NewDecoder(b, wire.TypeAODVRREQ)
+	if err != nil {
+		return RREQ{}, err
+	}
+	flags := d.U8()
+	q := RREQ{UnknownSeq: flags&flagUnknownSeq != 0}
+	q.Dst = routing.NodeID(d.Node())
+	q.DstSeq = d.U32()
+	q.Origin = routing.NodeID(d.Node())
+	q.OriginSeq = d.U32()
+	q.ReqID = d.U32()
+	q.HopCount = int(d.U8())
+	q.TTL = int(d.U8())
+	return q, d.Err()
+}
+
+// Marshal encodes the RREP to its wire format.
+func (p RREP) Marshal() []byte {
+	return wire.NewEncoder(wire.TypeAODVRREP).
+		Node(int(p.Dst)).
+		U32(p.DstSeq).
+		Node(int(p.Origin)).
+		U8(uint8(min(p.HopCount, 255))).
+		U32(uint32(p.Lifetime / time.Millisecond)).
+		Bytes()
+}
+
+// UnmarshalRREP decodes an AODV RREP.
+func UnmarshalRREP(b []byte) (RREP, error) {
+	d, err := wire.NewDecoder(b, wire.TypeAODVRREP)
+	if err != nil {
+		return RREP{}, err
+	}
+	var p RREP
+	p.Dst = routing.NodeID(d.Node())
+	p.DstSeq = d.U32()
+	p.Origin = routing.NodeID(d.Node())
+	p.HopCount = int(d.U8())
+	p.Lifetime = time.Duration(d.U32()) * time.Millisecond
+	return p, d.Err()
+}
+
+// Marshal encodes the RERR to its wire format.
+func (e RERR) Marshal() []byte {
+	enc := wire.NewEncoder(wire.TypeAODVRERR).U16(uint16(len(e.Unreachable)))
+	for _, u := range e.Unreachable {
+		enc.Node(int(u.Dst)).U32(u.Seq)
+	}
+	return enc.Bytes()
+}
+
+// UnmarshalRERR decodes an AODV RERR.
+func UnmarshalRERR(b []byte) (RERR, error) {
+	d, err := wire.NewDecoder(b, wire.TypeAODVRERR)
+	if err != nil {
+		return RERR{}, err
+	}
+	n := int(d.U16())
+	var e RERR
+	for i := 0; i < n; i++ {
+		e.Unreachable = append(e.Unreachable, RERRDest{
+			Dst: routing.NodeID(d.Node()),
+			Seq: d.U32(),
+		})
+	}
+	return e, d.Err()
+}

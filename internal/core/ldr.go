@@ -1,0 +1,801 @@
+package core
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// Config tunes LDR's timers and the paper's §4 optimizations. The zero
+// value is not valid; use DefaultConfig.
+type Config struct {
+	ActiveRouteTimeout time.Duration // route lifetime without use
+	NodeTraversalTime  time.Duration // per-hop latency estimate for RREQ timers
+	NetDiameter        int           // maximum network diameter in hops
+	TTLStart           int           // expanding-ring initial TTL
+	TTLIncrement       int           // expanding-ring step
+	TTLThreshold       int           // ring TTL beyond which the flood goes network-wide
+	RREQRetries        int           // network-wide retries after the ring fails
+	LocalAddTTL        int           // slack added to distance-derived TTLs
+	RREQCacheLife      time.Duration // engaged-state retention
+	MaxQueuedPerDest   int           // data packets buffered awaiting a route
+	BroadcastJitter    time.Duration // random delay before relaying a flood
+
+	// The paper's suggested optimizations (§4), each independently
+	// switchable for the ablation benchmarks.
+	MultipleRREPs   bool    // relay later RREPs carrying stronger invariants
+	RequestAsError  bool    // treat a successor's RREQ as evidence of a broken route
+	ReducedDistance bool    // advertise an answering distance below fd
+	ReducedFactor   float64 // answering-distance factor (paper: 0.8)
+	MinLifetime     bool    // do not answer with a nearly expired route
+	OptimalTTL      bool    // derive the initial ring TTL from known distance
+
+	// Multipath keeps up to MaxAltSuccessors additional loop-free
+	// successors per destination and fails over to them on link breaks
+	// without rediscovery (the labeled-distance multipath extension).
+	// AltLifetime bounds how long a recorded alternate may be promoted:
+	// loop-freedom never decays (the alternate's advertised distance was
+	// below fd, and fd is non-increasing at a fixed sequence number), but
+	// an old alternate is increasingly likely to have lost its own route.
+	Multipath        bool
+	MaxAltSuccessors int
+	AltLifetime      time.Duration
+}
+
+// DefaultConfig returns the configuration used for the paper-reproduction
+// experiments, with all optimizations enabled.
+func DefaultConfig() Config {
+	return Config{
+		ActiveRouteTimeout: 3 * time.Second,
+		NodeTraversalTime:  40 * time.Millisecond,
+		NetDiameter:        35,
+		TTLStart:           2,
+		TTLIncrement:       2,
+		TTLThreshold:       7,
+		RREQRetries:        2,
+		LocalAddTTL:        2,
+		RREQCacheLife:      6 * time.Second,
+		MaxQueuedPerDest:   16,
+		BroadcastJitter:    10 * time.Millisecond,
+
+		MultipleRREPs:   true,
+		RequestAsError:  true,
+		ReducedDistance: true,
+		ReducedFactor:   0.8,
+		MinLifetime:     true,
+		OptimalTTL:      true,
+
+		Multipath:        false, // the paper's LDR is single-path
+		MaxAltSuccessors: 2,
+		AltLifetime:      10 * time.Second,
+	}
+}
+
+// reqKey identifies a route computation (A, ID_A).
+type reqKey struct {
+	origin routing.NodeID
+	id     uint32
+}
+
+// reqState is the engaged-state record for one computation: the reverse
+// path hop plus bookkeeping for reply relaying (Theorem 3's computation
+// tree is exactly this cache).
+type reqState struct {
+	lastHop routing.NodeID
+	expires time.Duration
+
+	relayed     bool  // at least one RREP relayed
+	relayedSeq  Seqno // strongest invariants relayed so far
+	relayedDist int
+	unicastFwd  bool // the unicast reset leg has passed through here
+	replied     bool // this node answered (destination or SDC reply)
+
+	altHops []routing.NodeID // multipath: extra reverse hops already answered
+}
+
+// discovery is the active-state record at the origin of a computation.
+type discovery struct {
+	id      uint32
+	ttl     int
+	retries int // network-wide attempts used
+	timer   *sim.Event
+}
+
+// LDR is one node's instance of the labeled distance routing protocol.
+type LDR struct {
+	node *routing.Node
+	cfg  Config
+
+	ownSeq  Seqno
+	routes  table
+	reqSeen map[reqKey]*reqState
+	pending map[routing.NodeID][]*routing.DataPacket // data awaiting routes
+	active  map[routing.NodeID]*discovery            // per-destination computations
+
+	nextReqID uint32
+	stopped   bool
+}
+
+var (
+	_ routing.Protocol         = (*LDR)(nil)
+	_ routing.TableSnapshotter = (*LDR)(nil)
+)
+
+// New builds an LDR instance bound to a node.
+func New(node *routing.Node, cfg Config) *LDR {
+	return &LDR{
+		node:    node,
+		cfg:     cfg,
+		ownSeq:  NewSeqno(1, 0),
+		routes:  make(table),
+		reqSeen: make(map[reqKey]*reqState),
+		pending: make(map[routing.NodeID][]*routing.DataPacket),
+		active:  make(map[routing.NodeID]*discovery),
+	}
+}
+
+// Start implements routing.Protocol. LDR is purely reactive: nothing
+// happens until data needs a route.
+func (l *LDR) Start() {}
+
+// Stop implements routing.Protocol.
+func (l *LDR) Stop() {
+	l.stopped = true
+	for _, d := range l.active {
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+	}
+}
+
+// OwnSeq exposes the node's own sequence number (for tests and Fig. 7).
+func (l *LDR) OwnSeq() Seqno { return l.ownSeq }
+
+// --- data plane ---
+
+// Originate implements routing.Protocol.
+func (l *LDR) Originate(pkt *routing.DataPacket) {
+	l.sendOrQueue(pkt)
+}
+
+// HandleData implements routing.Protocol.
+func (l *LDR) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
+	if pkt.Dst == l.node.ID() {
+		l.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		l.node.DropData(pkt)
+		return
+	}
+	// Receiving data from a neighbor implies it uses us as successor;
+	// keep the downstream route alive.
+	l.sendOrQueue(pkt)
+}
+
+// sendOrQueue forwards pkt along the active route, or (at the origin)
+// buffers it and solicits a route. Relays without a route drop the packet
+// and report the error, as the origin will rediscover.
+func (l *LDR) sendOrQueue(pkt *routing.DataPacket) {
+	now := l.node.Now()
+	e := l.routes.get(pkt.Dst)
+	if e.active(now) {
+		e.refresh(now, l.cfg.ActiveRouteTimeout)
+		next := e.next
+		l.node.SendData(next, pkt, nil, func() { l.linkFailure(next, pkt) })
+		return
+	}
+	if pkt.Src == l.node.ID() {
+		l.queuePacket(pkt)
+		l.solicit(pkt.Dst)
+		return
+	}
+	l.node.DropData(pkt)
+	l.sendRERR([]RERRDest{{Dst: pkt.Dst, Seq: l.seqFor(pkt.Dst)}})
+}
+
+func (l *LDR) queuePacket(pkt *routing.DataPacket) {
+	q := l.pending[pkt.Dst]
+	if len(q) >= l.cfg.MaxQueuedPerDest {
+		l.node.DropData(q[0])
+		q = q[1:]
+	}
+	l.pending[pkt.Dst] = append(q, pkt)
+}
+
+// flushPending drains the buffered packets for dst after a route appears.
+func (l *LDR) flushPending(dst routing.NodeID) {
+	q := l.pending[dst]
+	if len(q) == 0 {
+		return
+	}
+	delete(l.pending, dst)
+	for _, pkt := range q {
+		l.sendOrQueue(pkt)
+	}
+}
+
+// linkFailure handles a MAC-layer unicast failure toward next: every route
+// through next is invalidated (keeping sn and fd — LDR's reset discipline
+// means no sequence numbers are touched), a RERR is issued, and any
+// locally originated traffic triggers rediscovery.
+func (l *LDR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
+	if l.stopped {
+		return
+	}
+	var broken []RERRDest
+	for dst, e := range l.routes {
+		e.dropAlt(next)
+		if e.valid && e.next == next {
+			if l.cfg.Multipath && e.promoteAlt(l.node.Now(), l.cfg.ActiveRouteTimeout, l.cfg.AltLifetime) {
+				continue // failover without rediscovery or RERR
+			}
+			e.invalidate()
+			broken = append(broken, RERRDest{Dst: dst, Seq: e.seq})
+		}
+	}
+	if len(broken) > 0 {
+		l.sendRERR(broken)
+	}
+	if e := l.routes.get(pkt.Dst); l.cfg.Multipath && e.active(l.node.Now()) {
+		// A fallback successor took over; resend along it immediately.
+		l.sendOrQueue(pkt)
+		return
+	}
+	if pkt.Src == l.node.ID() {
+		// Buffer the packet and reacquire the route.
+		l.queuePacket(pkt)
+		l.solicit(pkt.Dst)
+	} else {
+		l.node.DropData(pkt)
+	}
+}
+
+// --- route discovery: Procedure 1 (Initiate Solicitation) ---
+
+// solicit starts (or joins) the route computation for dst.
+func (l *LDR) solicit(dst routing.NodeID) {
+	if l.stopped || dst == l.node.ID() {
+		return
+	}
+	if _, ok := l.active[dst]; ok {
+		return // already active for dst; at most one computation each
+	}
+	l.nextReqID++
+	d := &discovery{id: l.nextReqID, ttl: l.initialTTL(dst)}
+	l.active[dst] = d
+	l.broadcastRREQ(dst, d)
+}
+
+// initialTTL applies the optimal-TTL optimization: a node that recently
+// had a route needs to reach only slightly past the old distance.
+func (l *LDR) initialTTL(dst routing.NodeID) int {
+	e := l.routes.get(dst)
+	if l.cfg.OptimalTTL && e != nil && e.dist < Infinity {
+		ttl := e.dist - l.answerDist(e) + l.cfg.LocalAddTTL
+		if ttl < l.cfg.TTLStart {
+			ttl = l.cfg.TTLStart
+		}
+		if ttl > l.cfg.NetDiameter {
+			ttl = l.cfg.NetDiameter
+		}
+		return ttl
+	}
+	return l.cfg.TTLStart
+}
+
+// answerDist computes the answering distance carried in a RREQ: the
+// node's feasible distance, optionally reduced (×0.8, floored, minimum 1)
+// so that slightly longer loop-free paths remain answerable under churn.
+func (l *LDR) answerDist(e *entry) int {
+	fd := Infinity
+	if e != nil {
+		fd = e.fd
+	}
+	if !l.cfg.ReducedDistance || fd >= Infinity {
+		return fd
+	}
+	ad := int(l.cfg.ReducedFactor * float64(fd))
+	if ad < 1 {
+		ad = 1
+	}
+	return ad
+}
+
+func (l *LDR) broadcastRREQ(dst routing.NodeID, d *discovery) {
+	e := l.routes.get(dst)
+	q := RREQ{
+		Dst:       dst,
+		Origin:    l.node.ID(),
+		OriginSeq: l.ownSeq,
+		ReqID:     d.id,
+		FD:        Infinity,
+		AnsDist:   l.answerDist(e),
+		Dist:      0,
+		TTL:       d.ttl,
+	}
+	if e != nil {
+		q.HaveDstSeq = true
+		q.DstSeq = e.seq
+		q.FD = e.fd
+	}
+	l.node.Metrics().CountControlInitiate(metrics.RREQ)
+	l.node.SendControl(routing.BroadcastID, q, nil)
+
+	timeout := 2 * time.Duration(d.ttl) * l.cfg.NodeTraversalTime
+	d.timer = l.node.Schedule(timeout, func() { l.discoveryTimeout(dst, d) })
+}
+
+// discoveryTimeout implements the expanding-ring retry schedule. After the
+// final attempt the buffered packets are dropped and the computation ends.
+func (l *LDR) discoveryTimeout(dst routing.NodeID, d *discovery) {
+	if l.stopped || l.active[dst] != d {
+		return
+	}
+	if d.ttl >= l.cfg.NetDiameter {
+		d.retries++
+		if d.retries > l.cfg.RREQRetries {
+			delete(l.active, dst)
+			for _, pkt := range l.pending[dst] {
+				l.node.DropData(pkt)
+			}
+			delete(l.pending, dst)
+			return
+		}
+	} else {
+		d.ttl += l.cfg.TTLIncrement
+		if d.ttl > l.cfg.TTLThreshold {
+			d.ttl = l.cfg.NetDiameter
+		}
+	}
+	l.nextReqID++
+	d.id = l.nextReqID
+	l.broadcastRREQ(dst, d)
+}
+
+// --- control plane ---
+
+// HandleControl implements routing.Protocol.
+func (l *LDR) HandleControl(from routing.NodeID, msg routing.Message) {
+	if l.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case RREQ:
+		l.handleRREQ(from, m)
+	case RREP:
+		l.handleRREP(from, m)
+	case RERR:
+		l.handleRERR(from, m)
+	}
+}
+
+// handleRREQ implements Procedure 2 (Relay Solicitation) together with
+// the destination behaviour and SDC replies.
+func (l *LDR) handleRREQ(from routing.NodeID, q RREQ) {
+	me := l.node.ID()
+	if q.Origin == me {
+		return
+	}
+	now := l.node.Now()
+	key := reqKey{origin: q.Origin, id: q.ReqID}
+	st := l.reqSeen[key]
+	if st != nil {
+		// Already engaged: a node enters a computation at most once
+		// (Theorem 3). The only second touch allowed is relaying the
+		// unicast reset leg toward the destination, which follows the
+		// loop-free successor graph rather than the flood tree.
+		if q.D && !st.unicastFwd && !st.replied && q.Dst != me {
+			st.unicastFwd = true
+			l.forwardUnicastRREQ(q)
+		} else if q.D && q.Dst == me && !st.replied {
+			st.replied = true
+			l.destinationReply(q, st)
+		} else if l.cfg.Multipath && q.Dst == me && st.replied {
+			// Multipath extension: a duplicate copy that arrived over a
+			// different last hop reveals a node-disjoint reverse branch.
+			// Answer it too (bounded by MaxAltSuccessors) so upstream
+			// nodes can learn loop-free alternates.
+			l.maybeAltReply(q, st, from)
+		}
+		return
+	}
+	st = &reqState{lastHop: from, expires: now + l.cfg.RREQCacheLife}
+	l.reqSeen[key] = st
+	l.node.Schedule(l.cfg.RREQCacheLife, func() { l.expireReq(key) })
+
+	// The RREQ advertises a route back to its origin; try to install it.
+	// The unicast reset leg (D bit) is NOT an advertisement: it travels
+	// the successor path toward the destination, so its Dist describes
+	// the original flood path, not the state of the neighbor relaying it
+	// — installing a route from it would break the ordering criterion.
+	reverseOK := false
+	if !q.D {
+		reverseOK = l.acceptAdvertisement(q.Origin, q.OriginSeq, q.Dist, from)
+	}
+	if !reverseOK && !l.routes.get(q.Origin).active(now) {
+		q.N = true
+	}
+
+	// Request-as-error: a solicitation from our own successor for the very
+	// destination it serves means its route is gone.
+	if l.cfg.RequestAsError {
+		if e := l.routes.get(q.Dst); e != nil && e.valid && e.next == from {
+			if !q.HaveDstSeq || q.AnsDist > e.dist-1 {
+				e.invalidate()
+			}
+		}
+	}
+
+	if q.Dst == me {
+		st.replied = true
+		l.destinationReply(q, st)
+		return
+	}
+
+	e := l.routes.get(q.Dst)
+	if l.sdc(e, q, now) {
+		if !q.T {
+			st.replied = true
+			l.sendReply(q, e, now)
+			return
+		}
+		// SDC holds but a reset is required: unicast the request the rest
+		// of the way so the destination can raise its sequence number.
+		st.unicastFwd = true
+		uq := l.updateInvariants(q, e)
+		uq.D = true
+		uq.TTL = e.dist + l.cfg.LocalAddTTL
+		l.forwardUnicastRREQ(uq)
+		return
+	}
+
+	// Relay the flood.
+	q.TTL--
+	if q.TTL <= 0 {
+		return
+	}
+	rq := l.updateInvariants(q, e)
+	jitter := time.Duration(l.node.RNG().Float64() * float64(l.cfg.BroadcastJitter))
+	l.node.Schedule(jitter, func() {
+		if l.stopped {
+			return
+		}
+		l.node.SendControl(routing.BroadcastID, rq, nil)
+	})
+}
+
+// sdc evaluates the Start Distance Condition at this node for a
+// solicitation (ignoring the T bit, which the caller inspects):
+//
+//	sn = sn#  ∧  d < fd#           (3, with the answering distance)
+//	sn > sn#                       (4)
+//
+// plus the minimum-lifetime optimization: nearly expired routes do not
+// answer.
+func (l *LDR) sdc(e *entry, q RREQ, now time.Duration) bool {
+	if !e.active(now) {
+		return false
+	}
+	if l.cfg.MinLifetime && e.expiry-now < l.cfg.ActiveRouteTimeout/3 {
+		return false
+	}
+	if !q.HaveDstSeq {
+		return true
+	}
+	if e.seq > q.DstSeq {
+		return true
+	}
+	return e.seq == q.DstSeq && e.dist < q.AnsDist
+}
+
+// updateInvariants applies equations (5)–(8) to produce the relayed
+// solicitation: the sequence number and feasible distance are strengthened
+// with this node's state, the traversed distance grows by the link cost,
+// and the T bit tracks FDC.
+func (l *LDR) updateInvariants(q RREQ, e *entry) RREQ {
+	q.Dist++ // eq. (7): the reverse-path advertisement grew one hop
+	if e == nil {
+		return q
+	}
+	switch {
+	case !q.HaveDstSeq || e.seq > q.DstSeq:
+		// eq. (5)/(6): our state supersedes the request's; any reply now
+		// acts as a path reset, clearing T (eq. 8, first case).
+		q.HaveDstSeq = true
+		q.DstSeq = e.seq
+		q.FD = e.fd
+		q.AnsDist = l.answerDist(e)
+		q.T = false
+	case e.seq == q.DstSeq && e.fd < q.FD:
+		// eq. (6): strengthen the minimum; FDC satisfied, T relayed as-is.
+		q.FD = e.fd
+		if ad := l.answerDist(e); ad < q.AnsDist {
+			q.AnsDist = ad
+		}
+	case e.seq == q.DstSeq:
+		// FDC violated (fd ≥ fd#): require a path reset (eq. 8, third case).
+		q.T = true
+	}
+	// e.seq < q.DstSeq leaves the solicitation untouched: our stale state
+	// cannot constrain a newer-numbered path.
+	return q
+}
+
+// forwardUnicastRREQ sends the reset leg toward the destination along the
+// successor path. If the route evaporated, the leg dies and the origin's
+// retry timer recovers.
+func (l *LDR) forwardUnicastRREQ(q RREQ) {
+	now := l.node.Now()
+	e := l.routes.get(q.Dst)
+	if !e.active(now) {
+		return
+	}
+	q.TTL--
+	if q.TTL <= 0 {
+		return
+	}
+	l.node.SendControl(e.next, q, nil)
+}
+
+// destinationReply implements the destination's reset duty: raise the
+// sequence number when the path needs resetting, then answer.
+func (l *LDR) destinationReply(q RREQ, st *reqState) {
+	now := l.node.Now()
+	if q.T && q.HaveDstSeq && l.ownSeq <= q.DstSeq {
+		// Only the destination may do this (eq. 8 discussion; the reply
+		// resets feasible distances along the reverse path).
+		l.ownSeq = l.ownSeq.Next(now)
+	} else if q.HaveDstSeq && q.DstSeq > l.ownSeq {
+		// A stale universe believes a higher number than ours (possible
+		// only across reboots); jump past it before answering.
+		l.ownSeq = NewSeqno(q.DstSeq.Timestamp(), q.DstSeq.Counter()).Next(now)
+	}
+	p := RREP{
+		Dst:      l.node.ID(),
+		DstSeq:   l.ownSeq,
+		Origin:   q.Origin,
+		ReqID:    q.ReqID,
+		Dist:     0,
+		Lifetime: l.cfg.ActiveRouteTimeout,
+		N:        q.N,
+	}
+	l.node.Metrics().CountControlInitiate(metrics.RREP)
+	l.node.SendControl(st.lastHop, p, nil)
+}
+
+// maybeAltReply sends an additional destination RREP along an alternate
+// reverse hop for the same computation (multipath extension).
+func (l *LDR) maybeAltReply(q RREQ, st *reqState, from routing.NodeID) {
+	if from == st.lastHop || len(st.altHops) >= l.cfg.MaxAltSuccessors {
+		return
+	}
+	for _, h := range st.altHops {
+		if h == from {
+			return
+		}
+	}
+	st.altHops = append(st.altHops, from)
+	p := RREP{
+		Dst:      l.node.ID(),
+		DstSeq:   l.ownSeq,
+		Origin:   q.Origin,
+		ReqID:    q.ReqID,
+		Dist:     0,
+		Lifetime: l.cfg.ActiveRouteTimeout,
+		N:        q.N,
+	}
+	l.node.Metrics().CountControlInitiate(metrics.RREP)
+	l.node.SendControl(from, p, nil)
+}
+
+// sendReply issues an SDC advertisement from an intermediate node.
+func (l *LDR) sendReply(q RREQ, e *entry, now time.Duration) {
+	st := l.reqSeen[reqKey{origin: q.Origin, id: q.ReqID}]
+	if st == nil {
+		return
+	}
+	p := RREP{
+		Dst:      q.Dst,
+		DstSeq:   e.seq,
+		Origin:   q.Origin,
+		ReqID:    q.ReqID,
+		Dist:     e.dist,
+		Lifetime: e.expiry - now,
+		N:        q.N,
+	}
+	l.node.Metrics().CountControlInitiate(metrics.RREP)
+	l.node.SendControl(st.lastHop, p, nil)
+}
+
+// handleRREP implements Procedure 4 (Relay Advertisement).
+func (l *LDR) handleRREP(from routing.NodeID, p RREP) {
+	me := l.node.ID()
+	now := l.node.Now()
+
+	accepted := false
+	if p.Dst != me {
+		accepted = l.acceptAdvertisement(p.Dst, p.DstSeq, p.Dist, from)
+		if accepted {
+			l.node.Metrics().RREPUsable++
+			l.flushPending(p.Dst)
+		}
+	}
+
+	if p.Origin == me {
+		// Terminus: the computation (me, ReqID) ends in success if the
+		// advertisement was feasible here.
+		if d, ok := l.active[p.Dst]; ok && accepted {
+			if d.timer != nil {
+				d.timer.Cancel()
+			}
+			delete(l.active, p.Dst)
+		}
+		if p.N && accepted {
+			// Reverse path incomplete: raise our own number so relays can
+			// accept the rebuilt reverse advertisements, and probe again.
+			l.ownSeq = l.ownSeq.Next(now)
+		}
+		return
+	}
+
+	key := reqKey{origin: p.Origin, id: p.ReqID}
+	st := l.reqSeen[key]
+	if st == nil {
+		return // not engaged in this computation; nowhere to relay
+	}
+	e := l.routes.get(p.Dst)
+	if !e.active(now) {
+		// Cannot issue a fresh advertisement without an active route; the
+		// advertisement dies here (paper: "the relay cannot issue a new
+		// advertisement").
+		return
+	}
+	// Procedure 4: relay with our own (possibly stronger) invariants.
+	fwd := RREP{
+		Dst:      p.Dst,
+		DstSeq:   e.seq,
+		Origin:   p.Origin,
+		ReqID:    p.ReqID,
+		Dist:     e.dist,
+		Lifetime: e.expiry - now,
+		N:        p.N,
+	}
+	if st.relayed {
+		if !l.cfg.MultipleRREPs {
+			return
+		}
+		// Only strictly stronger advertisements may follow earlier ones.
+		stronger := fwd.DstSeq > st.relayedSeq ||
+			(fwd.DstSeq == st.relayedSeq && fwd.Dist < st.relayedDist)
+		if !stronger {
+			return
+		}
+	}
+	st.relayed = true
+	st.relayedSeq = fwd.DstSeq
+	st.relayedDist = fwd.Dist
+	l.node.SendControl(st.lastHop, fwd, nil)
+}
+
+// handleRERR invalidates routes whose next hop reported them broken and
+// propagates the error for entries that actually changed.
+func (l *LDR) handleRERR(from routing.NodeID, e RERR) {
+	var propagate []RERRDest
+	for _, u := range e.Unreachable {
+		ent := l.routes.get(u.Dst)
+		if ent == nil {
+			continue
+		}
+		ent.dropAlt(from)
+		if ent.valid && ent.next == from && ent.seq <= u.Seq {
+			if l.cfg.Multipath && ent.promoteAlt(l.node.Now(), l.cfg.ActiveRouteTimeout, l.cfg.AltLifetime) {
+				continue
+			}
+			ent.invalidate()
+			propagate = append(propagate, RERRDest{Dst: u.Dst, Seq: ent.seq})
+		}
+	}
+	if len(propagate) > 0 {
+		l.sendRERR(propagate)
+	}
+}
+
+func (l *LDR) sendRERR(broken []RERRDest) {
+	l.node.Metrics().CountControlInitiate(metrics.RERR)
+	l.node.SendControl(routing.BroadcastID, RERR{Unreachable: broken}, nil)
+}
+
+// acceptAdvertisement applies NDC + Procedure 3 for an advertisement of
+// dst (advSeq, advDist) heard from via. It returns whether the
+// advertisement was usable (installed or refreshed a route).
+func (l *LDR) acceptAdvertisement(dst routing.NodeID, advSeq Seqno, advDist int, via routing.NodeID) bool {
+	if dst == l.node.ID() || via == routing.BroadcastID {
+		return false
+	}
+	now := l.node.Now()
+	e := l.routes.get(dst)
+	if e == nil {
+		l.routes[dst] = newEntry(advSeq, advDist, via, 1, now, l.cfg.ActiveRouteTimeout)
+		return true
+	}
+	if !e.ndc(advSeq, advDist) {
+		return false
+	}
+	// Stability rule (paper §2.1 note): with an active route and an equal
+	// sequence number, keep the current successor unless the newcomer is
+	// strictly shorter.
+	if e.active(now) && advSeq == e.seq && via != e.next && advDist+1 >= e.dist {
+		if l.cfg.Multipath {
+			// The advertisement is loop-free even though it loses the
+			// primary selection: remember it as a fallback successor.
+			e.rememberAlt(via, advSeq, advDist, now, l.cfg.MaxAltSuccessors)
+		}
+		return false
+	}
+	e.update(advSeq, advDist, via, 1, now, l.cfg.ActiveRouteTimeout)
+	return true
+}
+
+// seqFor returns the stored sequence number for dst (zero when unknown).
+func (l *LDR) seqFor(dst routing.NodeID) Seqno {
+	if e := l.routes.get(dst); e != nil {
+		return e.seq
+	}
+	return 0
+}
+
+func (l *LDR) expireReq(key reqKey) {
+	if st := l.reqSeen[key]; st != nil && st.expires <= l.node.Now() {
+		delete(l.reqSeen, key)
+	}
+}
+
+// --- observability ---
+
+// SnapshotTable implements routing.TableSnapshotter.
+func (l *LDR) SnapshotTable() []routing.RouteEntry {
+	now := l.node.Now()
+	out := make([]routing.RouteEntry, 0, len(l.routes))
+	for dst, e := range l.routes {
+		out = append(out, routing.RouteEntry{
+			Dst:    dst,
+			Next:   e.next,
+			Metric: e.dist,
+			SeqNo:  uint64(e.seq),
+			FD:     e.fd,
+			Valid:  e.active(now),
+		})
+	}
+	return out
+}
+
+// ReportSeqnos records the counter component of every known destination
+// sequence number plus the node's own, feeding Fig. 7.
+func (l *LDR) ReportSeqnos(col *metrics.Collector) {
+	col.ObserveSeqno(float64(l.ownSeq.Counter()))
+	for _, e := range l.routes {
+		col.ObserveSeqno(float64(e.seq.Counter()))
+	}
+}
+
+// RouteTo exposes (next hop, distance, ok) for examples and tests.
+func (l *LDR) RouteTo(dst routing.NodeID) (routing.NodeID, int, bool) {
+	e := l.routes.get(dst)
+	if !e.active(l.node.Now()) {
+		return 0, 0, false
+	}
+	return e.next, e.dist, true
+}
+
+// FeasibleDistance exposes the fd label for dst (Infinity when unknown),
+// used by the invariants example and property tests.
+func (l *LDR) FeasibleDistance(dst routing.NodeID) int {
+	if e := l.routes.get(dst); e != nil {
+		return e.fd
+	}
+	return Infinity
+}

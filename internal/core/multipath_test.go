@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/core"
+	"github.com/manetlab/ldr/internal/loopcheck"
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/rng"
+)
+
+// diamondTracks builds a diamond topology: origin 0 reaches destination 3
+// via relay 1 (primary chain 0-1-3) or relay 2 (0-2-3). Relay 1 departs
+// at t=6 s.
+func diamondTracks() [][]mobility.ScriptLeg {
+	return [][]mobility.ScriptLeg{
+		{{At: 0, Pos: mobility.Point{X: 0, Y: 0}}}, // 0 origin
+		{ // 1 primary relay — leaves
+			{At: 0, Pos: mobility.Point{X: 250, Y: 60}},
+			{At: 6 * time.Second, Pos: mobility.Point{X: 250, Y: 60}},
+			{At: 8 * time.Second, Pos: mobility.Point{X: 250, Y: 3000}},
+		},
+		{{At: 0, Pos: mobility.Point{X: 250, Y: -60}}}, // 2 alternate relay
+		{{At: 0, Pos: mobility.Point{X: 500, Y: 0}}},   // 3 destination
+	}
+}
+
+func TestMultipathRecordsAlternateSuccessors(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Multipath = true
+	nw := buildNet(mobility.NewScript(diamondTracks()), 4, cfg)
+	nw.Start()
+	keepTraffic(nw, 0, 3, time.Second, 5*time.Second, 200*time.Millisecond)
+
+	var alts []int
+	nw.Sim.At(4*time.Second, func() {
+		for _, a := range ldrAt(nw, 0).AltSuccessors(3) {
+			alts = append(alts, int(a))
+		}
+	})
+	nw.Sim.Run(5 * time.Second)
+
+	if len(alts) == 0 {
+		t.Fatal("no alternate successor recorded despite two equal-length paths")
+	}
+}
+
+func TestMultipathFailsOverWithoutRediscovery(t *testing.T) {
+	run := func(multipath bool) (rreqs uint64, delivery float64) {
+		cfg := core.DefaultConfig()
+		cfg.Multipath = multipath
+		nw := buildNet(mobility.NewScript(diamondTracks()), 4, cfg)
+		nw.Start()
+		keepTraffic(nw, 0, 3, time.Second, 20*time.Second, 200*time.Millisecond)
+		// A second flow through the alternate relay keeps its route warm,
+		// the regime where instant failover pays off.
+		keepTraffic(nw, 2, 3, time.Second, 20*time.Second, 200*time.Millisecond)
+		nw.Sim.Run(22 * time.Second)
+		return nw.Collector.ControlInitiated(metrics.RREQ), nw.Collector.DeliveryRatio()
+	}
+
+	singleRREQs, singleDelivery := run(false)
+	multiRREQs, multiDelivery := run(true)
+
+	if multiRREQs >= singleRREQs {
+		t.Fatalf("multipath did not reduce rediscoveries: %d vs %d RREQs", multiRREQs, singleRREQs)
+	}
+	if multiDelivery < singleDelivery {
+		t.Fatalf("multipath hurt delivery: %.3f vs %.3f", multiDelivery, singleDelivery)
+	}
+}
+
+func TestMultipathPreservesLoopFreedom(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Multipath = true
+	model := mobility.NewWaypoint(20, mobility.WaypointConfig{
+		Terrain:  mobility.Terrain{Width: 1200, Height: 300},
+		MinSpeed: 1, MaxSpeed: 20, Pause: 0,
+	}, rng.New(21))
+	nw := buildNet(model, 21, cfg)
+	nw.Start()
+	for f := 0; f < 6; f++ {
+		keepTraffic(nw, f, 19-f, time.Second, 60*time.Second, 250*time.Millisecond)
+	}
+
+	var violations int
+	for tick := time.Second; tick < 60*time.Second; tick += 500 * time.Millisecond {
+		nw.Sim.At(tick, func() {
+			if vs := loopcheck.Check(nw.Nodes); len(vs) > 0 {
+				violations += len(vs)
+				for _, v := range vs {
+					t.Error(v)
+				}
+			}
+		})
+	}
+	nw.Sim.Run(60 * time.Second)
+	if violations > 0 {
+		t.Fatalf("%d invariant violations under multipath failover", violations)
+	}
+}

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/core"
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// TestRelayWithoutRouteDropsAndReportsError: a relay handed a data packet
+// for a destination it has no active route to must drop it and broadcast
+// a RERR (LDR relays do not repair on behalf of origins).
+func TestRelayWithoutRouteDropsAndReportsError(t *testing.T) {
+	nw := buildNet(mobility.Line(3, 250), 6, core.DefaultConfig())
+	nw.Start()
+
+	relay := ldrAt(nw, 1)
+	dropsBefore := nw.Collector.DataDropped
+	rerrBefore := nw.Collector.ControlInitiated(metrics.RERR)
+
+	nw.Sim.Schedule(0, func() {
+		// Hand node 1 a packet from node 0 toward node 2 with no route
+		// primed anywhere.
+		relay.HandleData(0, &routing.DataPacket{
+			Src: 0, Dst: 2, ID: 1, Bytes: 64, TTL: 8,
+		})
+	})
+	nw.Sim.Run(time.Second)
+
+	if nw.Collector.DataDropped != dropsBefore+1 {
+		t.Fatalf("drops = %d, want exactly one", nw.Collector.DataDropped-dropsBefore)
+	}
+	if nw.Collector.ControlInitiated(metrics.RERR) != rerrBefore+1 {
+		t.Fatal("relay did not report the missing route")
+	}
+	if rreqs := nw.Collector.ControlInitiated(metrics.RREQ); rreqs != 0 {
+		t.Fatalf("relay initiated %d discoveries; only origins rediscover", rreqs)
+	}
+}
+
+// TestTTLExpiryDropsPacket: a packet arriving with TTL 1 at a relay dies
+// there instead of being forwarded.
+func TestTTLExpiryDropsPacket(t *testing.T) {
+	nw := buildNet(mobility.Line(3, 250), 6, core.DefaultConfig())
+	nw.Start()
+	// Prime the route so the relay would otherwise forward.
+	nw.Sim.Schedule(0, func() { nw.Nodes[0].OriginateData(2, 64) })
+	nw.Sim.Run(time.Second)
+
+	sent := nw.Collector.DataTransmitted
+	nw.Sim.Schedule(0, func() {
+		ldrAt(nw, 1).HandleData(0, &routing.DataPacket{
+			Src: 0, Dst: 2, ID: 99, Bytes: 64, TTL: 1,
+		})
+	})
+	nw.Sim.Run(1500 * time.Millisecond)
+
+	if nw.Collector.DataTransmitted != sent {
+		t.Fatal("TTL-1 packet was forwarded")
+	}
+}
+
+// TestDataRefreshesRouteLifetime: forwarding data keeps the route alive
+// past its idle timeout.
+func TestDataRefreshesRouteLifetime(t *testing.T) {
+	nw := buildNet(mobility.Line(3, 250), 6, core.DefaultConfig())
+	nw.Start()
+	// Send a packet every 2 s (inside the 3 s lifetime) for 12 s; the
+	// route must never need a second discovery.
+	for ts := time.Duration(0); ts < 12*time.Second; ts += 2 * time.Second {
+		nw.Sim.At(ts, func() { nw.Nodes[0].OriginateData(2, 64) })
+	}
+	nw.Sim.Run(14 * time.Second)
+
+	if rreqs := nw.Collector.ControlInitiated(metrics.RREQ); rreqs != 1 {
+		t.Fatalf("route refreshed by use still rediscovered: %d RREQs", rreqs)
+	}
+	if nw.Collector.DataDelivered != 6 {
+		t.Fatalf("delivered %d of 6", nw.Collector.DataDelivered)
+	}
+}

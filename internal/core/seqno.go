@@ -1,0 +1,53 @@
+// Package core implements the Labeled Distance Routing (LDR) protocol —
+// the primary contribution of the paper. LDR is an on-demand routing
+// protocol that is loop-free at every instant. It combines two invariants:
+//
+//   - a feasible distance (fd) per destination — the smallest distance the
+//     node has ever had to the destination for the current sequence number
+//     (the DUAL-style distance label), and
+//   - a destination sequence number that only the destination itself may
+//     increment, used to reset feasible distances.
+//
+// Route updates are accepted under the Numbered Distance Condition (NDC),
+// route requests propagate the Feasible Distance Condition (FDC) via the
+// reset-required (T) bit, and replies are issued under the Start Distance
+// Condition (SDC). See DESIGN.md for the mapping from the paper's
+// procedures to this package.
+package core
+
+import "time"
+
+// Seqno is an LDR sequence number: a destination-specific timestamp in the
+// high 32 bits and a monotonically increasing counter in the low 32 bits
+// (paper §3). The timestamp advances only when the counter wraps, so no
+// clock synchronization between nodes is required and reboot-hold delays
+// (as in AODV) are unnecessary. The packed representation makes ordinary
+// integer comparison the total order.
+type Seqno uint64
+
+// NewSeqno builds a sequence number from a timestamp and counter.
+func NewSeqno(ts uint32, ctr uint32) Seqno {
+	return Seqno(uint64(ts)<<32 | uint64(ctr))
+}
+
+// Timestamp returns the timestamp half of the sequence number.
+func (s Seqno) Timestamp() uint32 { return uint32(s >> 32) }
+
+// Counter returns the counter half of the sequence number.
+func (s Seqno) Counter() uint32 { return uint32(s) }
+
+// Next returns the incremented sequence number. When the counter wraps,
+// the timestamp is replaced by `now` (virtual seconds) and the counter
+// resets — the owning destination calls this, nobody else (the central
+// design difference from AODV, where third parties increment a
+// destination's number).
+func (s Seqno) Next(now time.Duration) Seqno {
+	if s.Counter() == ^uint32(0) {
+		ts := uint32(now / time.Second)
+		if ts <= s.Timestamp() {
+			ts = s.Timestamp() + 1
+		}
+		return NewSeqno(ts, 0)
+	}
+	return s + 1
+}

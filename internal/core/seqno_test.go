@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeqnoPackUnpack(t *testing.T) {
+	s := NewSeqno(7, 42)
+	if s.Timestamp() != 7 || s.Counter() != 42 {
+		t.Fatalf("round trip failed: ts=%d ctr=%d", s.Timestamp(), s.Counter())
+	}
+}
+
+func TestSeqnoOrdering(t *testing.T) {
+	tests := []struct {
+		a, b Seqno
+	}{
+		{NewSeqno(1, 0), NewSeqno(1, 1)},   // counter order
+		{NewSeqno(1, 999), NewSeqno(2, 0)}, // timestamp dominates counter
+		{NewSeqno(0, ^uint32(0)), NewSeqno(1, 0)},
+	}
+	for _, tt := range tests {
+		if !(tt.a < tt.b) {
+			t.Fatalf("want %v < %v", tt.a, tt.b)
+		}
+	}
+}
+
+func TestSeqnoNextIncrements(t *testing.T) {
+	s := NewSeqno(1, 5)
+	n := s.Next(0)
+	if n != NewSeqno(1, 6) {
+		t.Fatalf("Next = %v, want counter+1", n)
+	}
+}
+
+func TestSeqnoNextWrapsCounterIntoTimestamp(t *testing.T) {
+	s := NewSeqno(100, ^uint32(0))
+	n := s.Next(50 * time.Second)
+	if n.Counter() != 0 {
+		t.Fatalf("counter after wrap = %d, want 0", n.Counter())
+	}
+	if n.Timestamp() <= 100 {
+		t.Fatalf("timestamp after wrap = %d, must exceed 100", n.Timestamp())
+	}
+	if n <= s {
+		t.Fatal("wrapped sequence number did not increase")
+	}
+}
+
+func TestSeqnoNextWrapUsesClockWhenAhead(t *testing.T) {
+	s := NewSeqno(10, ^uint32(0))
+	n := s.Next(5000 * time.Second)
+	if n.Timestamp() != 5000 {
+		t.Fatalf("timestamp = %d, want wall-clock 5000", n.Timestamp())
+	}
+}
+
+// Property: Next is strictly increasing for any state and clock.
+func TestSeqnoNextStrictlyIncreasing(t *testing.T) {
+	f := func(ts, ctr uint32, nowSec uint16) bool {
+		s := NewSeqno(ts, ctr)
+		return s.Next(time.Duration(nowSec)*time.Second) > s
+	}
+	cfg := &quick.Config{MaxCount: 5000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

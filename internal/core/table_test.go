@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const lifetime = 3 * time.Second
+
+func TestNDCNilEntryAcceptsAnything(t *testing.T) {
+	var e *entry
+	if !e.ndc(NewSeqno(1, 0), 100) {
+		t.Fatal("no-information case must accept")
+	}
+}
+
+func TestNDCConditions(t *testing.T) {
+	e := &entry{seq: NewSeqno(1, 5), dist: 4, fd: 3}
+	tests := []struct {
+		name string
+		seq  Seqno
+		dist int
+		want bool
+	}{
+		{"newer seq always accepted", NewSeqno(1, 6), 99, true},
+		{"equal seq, dist below fd", NewSeqno(1, 5), 2, true},
+		{"equal seq, dist equals fd", NewSeqno(1, 5), 3, false},
+		{"equal seq, dist above fd", NewSeqno(1, 5), 7, false},
+		{"older seq rejected", NewSeqno(1, 4), 0, false},
+	}
+	for _, tt := range tests {
+		if got := e.ndc(tt.seq, tt.dist); got != tt.want {
+			t.Fatalf("%s: ndc = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestUpdateResetsFDOnNewSeq(t *testing.T) {
+	e := &entry{seq: NewSeqno(1, 1), dist: 2, fd: 2}
+	e.update(NewSeqno(1, 2), 9, 7, 1, 0, lifetime)
+	if e.fd != 10 || e.dist != 10 {
+		t.Fatalf("after seq reset: dist=%d fd=%d, want both 10", e.dist, e.fd)
+	}
+	if e.seq != NewSeqno(1, 2) || e.next != 7 || !e.valid {
+		t.Fatalf("entry fields wrong: %+v", e)
+	}
+}
+
+func TestUpdateKeepsFDMinimumAtSameSeq(t *testing.T) {
+	e := &entry{seq: NewSeqno(1, 1), dist: 5, fd: 5}
+	// Accept a shorter route: fd tightens.
+	e.update(NewSeqno(1, 1), 2, 3, 1, 0, lifetime)
+	if e.fd != 3 || e.dist != 3 {
+		t.Fatalf("dist=%d fd=%d, want 3/3", e.dist, e.fd)
+	}
+	// Accept a route whose distance grew back (still NDC-feasible at the
+	// caller): fd must NOT rise.
+	e.update(NewSeqno(1, 1), 2, 9, 1, 0, lifetime)
+	if e.fd != 3 {
+		t.Fatalf("fd rose to %d after distance fluctuation", e.fd)
+	}
+	if e.dist != 3 {
+		t.Fatalf("dist=%d", e.dist)
+	}
+}
+
+func TestActiveRespectsValidityAndExpiry(t *testing.T) {
+	e := &entry{valid: true, expiry: 10 * time.Second}
+	if !e.active(9 * time.Second) {
+		t.Fatal("entry inactive before expiry")
+	}
+	if e.active(10 * time.Second) {
+		t.Fatal("entry active at expiry instant")
+	}
+	e.invalidate()
+	if e.active(0) {
+		t.Fatal("invalidated entry still active")
+	}
+	var nilEntry *entry
+	if nilEntry.active(0) {
+		t.Fatal("nil entry active")
+	}
+}
+
+func TestRefreshOnlyExtends(t *testing.T) {
+	e := &entry{valid: true, expiry: 10 * time.Second}
+	e.refresh(5*time.Second, 3*time.Second) // 8s < 10s: no shrink
+	if e.expiry != 10*time.Second {
+		t.Fatalf("refresh shrank expiry to %v", e.expiry)
+	}
+	e.refresh(9*time.Second, 3*time.Second)
+	if e.expiry != 12*time.Second {
+		t.Fatalf("refresh did not extend: %v", e.expiry)
+	}
+}
+
+// Property (Procedure 3 guarantee): under any sequence of NDC-accepted
+// advertisements, (1) fd ≤ dist at all times, and (2) fd is non-increasing
+// while the sequence number is unchanged.
+func TestFDInvariantUnderRandomAdvertisements(t *testing.T) {
+	type adv struct {
+		SeqBump bool  // increment the advertised sequence number
+		Dist    uint8 // advertised distance
+		Via     uint8
+	}
+	f := func(advs []adv) bool {
+		e := newEntry(NewSeqno(1, 0), 3, 1, 1, 0, lifetime)
+		seq := NewSeqno(1, 0)
+		for _, a := range advs {
+			if a.SeqBump {
+				seq = seq.Next(0)
+			}
+			d := int(a.Dist)
+			if !e.ndc(seq, d) {
+				continue // NDC rejects; entry untouched
+			}
+			prevSeq, prevFD := e.seq, e.fd
+			e.update(seq, d, 5, 1, 0, lifetime)
+			if e.fd > e.dist {
+				return false // invariant 1 broken
+			}
+			if e.seq == prevSeq && e.fd > prevFD {
+				return false // invariant 2 broken
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any advertisement accepted under NDC with an equal sequence
+// number strictly lowers or preserves fd — it can never raise it.
+func TestNDCAcceptanceNeverRaisesFD(t *testing.T) {
+	f := func(fd0, d uint8) bool {
+		fd := int(fd0) + 1
+		e := &entry{seq: NewSeqno(1, 1), dist: fd, fd: fd}
+		if !e.ndc(NewSeqno(1, 1), int(d)) {
+			return true
+		}
+		e.update(NewSeqno(1, 1), int(d), 2, 1, 0, lifetime)
+		return e.fd <= fd
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

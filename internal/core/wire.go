@@ -1,0 +1,141 @@
+package core
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/wire"
+)
+
+// Flag bits in encoded LDR messages.
+const (
+	flagHaveDstSeq = 1 << iota
+	flagT
+	flagN
+	flagD
+)
+
+// Marshal encodes the RREQ to its wire format.
+func (q RREQ) Marshal() []byte {
+	var flags uint8
+	if q.HaveDstSeq {
+		flags |= flagHaveDstSeq
+	}
+	if q.T {
+		flags |= flagT
+	}
+	if q.N {
+		flags |= flagN
+	}
+	if q.D {
+		flags |= flagD
+	}
+	return wire.NewEncoder(wire.TypeLDRRREQ).
+		U8(flags).
+		Node(int(q.Dst)).
+		U64(uint64(q.DstSeq)).
+		Node(int(q.Origin)).
+		U64(uint64(q.OriginSeq)).
+		U32(q.ReqID).
+		U32(uint32(q.FD)).
+		U32(uint32(q.AnsDist)).
+		U32(uint32(q.Dist)).
+		U8(uint8(clampTTL(q.TTL))).
+		Bytes()
+}
+
+// UnmarshalRREQ decodes an LDR RREQ.
+func UnmarshalRREQ(b []byte) (RREQ, error) {
+	d, err := wire.NewDecoder(b, wire.TypeLDRRREQ)
+	if err != nil {
+		return RREQ{}, err
+	}
+	flags := d.U8()
+	q := RREQ{
+		Dst:        routing.NodeID(d.Node()),
+		DstSeq:     Seqno(d.U64()),
+		HaveDstSeq: flags&flagHaveDstSeq != 0,
+		T:          flags&flagT != 0,
+		N:          flags&flagN != 0,
+		D:          flags&flagD != 0,
+	}
+	q.Origin = routing.NodeID(d.Node())
+	q.OriginSeq = Seqno(d.U64())
+	q.ReqID = d.U32()
+	q.FD = int(d.U32())
+	q.AnsDist = int(d.U32())
+	q.Dist = int(d.U32())
+	q.TTL = int(d.U8())
+	return q, d.Err()
+}
+
+// Marshal encodes the RREP to its wire format.
+func (p RREP) Marshal() []byte {
+	var flags uint8
+	if p.N {
+		flags |= flagN
+	}
+	return wire.NewEncoder(wire.TypeLDRRREP).
+		U8(flags).
+		Node(int(p.Dst)).
+		U64(uint64(p.DstSeq)).
+		Node(int(p.Origin)).
+		U32(p.ReqID).
+		U32(uint32(p.Dist)).
+		U32(uint32(p.Lifetime / time.Millisecond)).
+		Bytes()
+}
+
+// UnmarshalRREP decodes an LDR RREP.
+func UnmarshalRREP(b []byte) (RREP, error) {
+	d, err := wire.NewDecoder(b, wire.TypeLDRRREP)
+	if err != nil {
+		return RREP{}, err
+	}
+	flags := d.U8()
+	p := RREP{N: flags&flagN != 0}
+	p.Dst = routing.NodeID(d.Node())
+	p.DstSeq = Seqno(d.U64())
+	p.Origin = routing.NodeID(d.Node())
+	p.ReqID = d.U32()
+	p.Dist = int(d.U32())
+	p.Lifetime = time.Duration(d.U32()) * time.Millisecond
+	return p, d.Err()
+}
+
+// Marshal encodes the RERR to its wire format.
+func (e RERR) Marshal() []byte {
+	enc := wire.NewEncoder(wire.TypeLDRRERR).U16(uint16(len(e.Unreachable)))
+	for _, u := range e.Unreachable {
+		enc.Node(int(u.Dst)).U64(uint64(u.Seq))
+	}
+	return enc.Bytes()
+}
+
+// UnmarshalRERR decodes an LDR RERR.
+func UnmarshalRERR(b []byte) (RERR, error) {
+	d, err := wire.NewDecoder(b, wire.TypeLDRRERR)
+	if err != nil {
+		return RERR{}, err
+	}
+	n := int(d.U16())
+	e := RERR{}
+	for i := 0; i < n; i++ {
+		e.Unreachable = append(e.Unreachable, RERRDest{
+			Dst: routing.NodeID(d.Node()),
+			Seq: Seqno(d.U64()),
+		})
+	}
+	return e, d.Err()
+}
+
+// clampTTL bounds a hop budget into the encodable byte range.
+func clampTTL(ttl int) int {
+	if ttl < 0 {
+		return 0
+	}
+	if ttl > 255 {
+		return 255
+	}
+	return ttl
+}

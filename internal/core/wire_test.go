@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+func TestRREQRoundTrip(t *testing.T) {
+	f := func(dst, origin int32, dstSeq, originSeq uint64, reqID uint32,
+		fd, ans, dist uint16, ttl uint8, have, tb, nb, db bool) bool {
+		q := RREQ{
+			Dst: routing.NodeID(dst), DstSeq: Seqno(dstSeq), HaveDstSeq: have,
+			Origin: routing.NodeID(origin), OriginSeq: Seqno(originSeq),
+			ReqID: reqID, FD: int(fd), AnsDist: int(ans), Dist: int(dist),
+			TTL: int(ttl), T: tb, N: nb, D: db,
+		}
+		got, err := UnmarshalRREQ(q.Marshal())
+		return err == nil && reflect.DeepEqual(got, q)
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRREQInfinityDistancesSurvive(t *testing.T) {
+	q := RREQ{Dst: 1, Origin: 2, FD: Infinity, AnsDist: Infinity, Dist: 3, TTL: 35}
+	got, err := UnmarshalRREQ(q.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FD != Infinity || got.AnsDist != Infinity {
+		t.Fatalf("Infinity mangled: fd=%d ans=%d", got.FD, got.AnsDist)
+	}
+}
+
+func TestRREPRoundTrip(t *testing.T) {
+	f := func(dst, origin int32, seq uint64, reqID uint32, dist uint16, lifeMs uint16, nb bool) bool {
+		p := RREP{
+			Dst: routing.NodeID(dst), DstSeq: Seqno(seq),
+			Origin: routing.NodeID(origin), ReqID: reqID, Dist: int(dist),
+			Lifetime: time.Duration(lifeMs) * time.Millisecond, N: nb,
+		}
+		got, err := UnmarshalRREP(p.Marshal())
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRERRRoundTrip(t *testing.T) {
+	e := RERR{Unreachable: []RERRDest{
+		{Dst: 3, Seq: NewSeqno(1, 9)},
+		{Dst: 44, Seq: NewSeqno(2, 0)},
+	}}
+	got, err := UnmarshalRERR(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("round trip: %+v != %+v", got, e)
+	}
+	// Empty RERR also survives.
+	empty, err := UnmarshalRERR(RERR{}.Marshal())
+	if err != nil || len(empty.Unreachable) != 0 {
+		t.Fatalf("empty RERR: %+v, %v", empty, err)
+	}
+}
+
+func TestSizesMatchEncodings(t *testing.T) {
+	q := RREQ{TTL: 5}
+	if q.Size() != len(q.Marshal()) {
+		t.Fatal("RREQ.Size diverges from encoding")
+	}
+	p := RREP{}
+	if p.Size() != len(p.Marshal()) {
+		t.Fatal("RREP.Size diverges from encoding")
+	}
+	e := RERR{Unreachable: make([]RERRDest, 3)}
+	if e.Size() != len(e.Marshal()) {
+		t.Fatal("RERR.Size diverges from encoding")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalRREQ([]byte{99, 1, 2}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	if _, err := UnmarshalRREQ(RREQ{}.Marshal()[:5]); err == nil {
+		t.Fatal("truncated RREQ accepted")
+	}
+	if _, err := UnmarshalRERR(append(RERR{}.Marshal(), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package dsr
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// pathCache is a DSR route cache: complete source routes from this node,
+// with FIFO eviction and per-path expiry. DSR's correctness depends on
+// aggressive cache maintenance (removing broken links everywhere) far more
+// than on the discovery machinery — stale cache replies are the classic
+// DSR failure mode under mobility that the paper's figures show.
+type pathCache struct {
+	owner    routing.NodeID
+	capacity int
+	lifetime time.Duration
+	paths    []cachedPath
+}
+
+type cachedPath struct {
+	nodes  []routing.NodeID // full path, nodes[0] == owner
+	expiry time.Duration
+}
+
+func newPathCache(owner routing.NodeID, capacity int, lifetime time.Duration) *pathCache {
+	return &pathCache{owner: owner, capacity: capacity, lifetime: lifetime}
+}
+
+// add inserts a path beginning at the cache owner. Duplicate paths only
+// refresh the expiry.
+func (c *pathCache) add(path []routing.NodeID, now time.Duration) {
+	if len(path) < 2 || path[0] != c.owner {
+		return
+	}
+	for i := range c.paths {
+		if equalPath(c.paths[i].nodes, path) {
+			c.paths[i].expiry = now + c.lifetime
+			return
+		}
+	}
+	if len(c.paths) >= c.capacity {
+		c.paths = c.paths[1:]
+	}
+	cp := append([]routing.NodeID(nil), path...)
+	c.paths = append(c.paths, cachedPath{nodes: cp, expiry: now + c.lifetime})
+}
+
+// find returns the shortest cached live path from the owner to dst
+// (including both endpoints), or nil.
+func (c *pathCache) find(dst routing.NodeID, now time.Duration) []routing.NodeID {
+	var best []routing.NodeID
+	for _, p := range c.paths {
+		if p.expiry <= now {
+			continue
+		}
+		for i, n := range p.nodes {
+			if n == dst {
+				if best == nil || i+1 < len(best) {
+					best = p.nodes[:i+1]
+				}
+				break
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return append([]routing.NodeID(nil), best...)
+}
+
+// removeLink deletes the directed link a→b (and b→a; links are symmetric
+// in this model) from every cached path, truncating paths at the break.
+func (c *pathCache) removeLink(a, b routing.NodeID) {
+	out := c.paths[:0]
+	for _, p := range c.paths {
+		cut := len(p.nodes)
+		for i := 0; i+1 < len(p.nodes); i++ {
+			x, y := p.nodes[i], p.nodes[i+1]
+			if (x == a && y == b) || (x == b && y == a) {
+				cut = i + 1
+				break
+			}
+		}
+		if cut >= 2 {
+			p.nodes = p.nodes[:cut]
+			out = append(out, p)
+		}
+	}
+	c.paths = out
+}
+
+// len returns the number of cached paths (for tests).
+func (c *pathCache) len() int { return len(c.paths) }
+
+func equalPath(a, b []routing.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasNode reports whether path contains n.
+func hasNode(path []routing.NodeID, n routing.NodeID) bool {
+	for _, x := range path {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}

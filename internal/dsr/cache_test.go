@@ -1,0 +1,163 @@
+package dsr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+const hold = 300 * time.Second
+
+func ids(xs ...int) []routing.NodeID {
+	out := make([]routing.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = routing.NodeID(x)
+	}
+	return out
+}
+
+func TestCacheFindShortest(t *testing.T) {
+	c := newPathCache(0, 8, hold)
+	c.add(ids(0, 1, 2, 3, 9), 0)
+	c.add(ids(0, 4, 9), 0)
+	got := c.find(9, 0)
+	want := ids(0, 4, 9)
+	if !equalPath(got, want) {
+		t.Fatalf("find = %v, want the shorter %v", got, want)
+	}
+}
+
+func TestCacheFindIntermediateNode(t *testing.T) {
+	c := newPathCache(0, 8, hold)
+	c.add(ids(0, 1, 2, 3), 0)
+	// A path to 3 also yields paths to 1 and 2.
+	if got := c.find(2, 0); !equalPath(got, ids(0, 1, 2)) {
+		t.Fatalf("find(2) = %v", got)
+	}
+}
+
+func TestCacheExpiry(t *testing.T) {
+	c := newPathCache(0, 8, hold)
+	c.add(ids(0, 1, 2), 0)
+	if c.find(2, hold+1) != nil {
+		t.Fatal("expired path still served")
+	}
+	// Re-adding refreshes.
+	c.add(ids(0, 1, 2), hold)
+	if c.find(2, hold+1) == nil {
+		t.Fatal("refreshed path unavailable")
+	}
+	if c.len() != 1 {
+		t.Fatalf("duplicate add grew the cache: %d entries", c.len())
+	}
+}
+
+func TestCacheRejectsForeignAndTrivialPaths(t *testing.T) {
+	c := newPathCache(0, 8, hold)
+	c.add(ids(1, 2, 3), 0) // does not start at owner
+	c.add(ids(0), 0)       // too short
+	if c.len() != 0 {
+		t.Fatalf("invalid paths cached: %d", c.len())
+	}
+}
+
+func TestCacheCapacityFIFO(t *testing.T) {
+	c := newPathCache(0, 2, hold)
+	c.add(ids(0, 1), 0)
+	c.add(ids(0, 2), 0)
+	c.add(ids(0, 3), 0) // evicts the oldest
+	if c.find(1, 0) != nil {
+		t.Fatal("oldest path not evicted")
+	}
+	if c.find(3, 0) == nil {
+		t.Fatal("newest path missing")
+	}
+}
+
+func TestRemoveLinkTruncates(t *testing.T) {
+	c := newPathCache(0, 8, hold)
+	c.add(ids(0, 1, 2, 3, 4), 0)
+	c.removeLink(2, 3)
+	if c.find(4, 0) != nil || c.find(3, 0) != nil {
+		t.Fatal("link removal did not cut downstream destinations")
+	}
+	// The prefix before the break survives.
+	if got := c.find(2, 0); !equalPath(got, ids(0, 1, 2)) {
+		t.Fatalf("prefix lost: %v", got)
+	}
+}
+
+func TestRemoveLinkSymmetric(t *testing.T) {
+	c := newPathCache(0, 8, hold)
+	c.add(ids(0, 1, 2), 0)
+	c.removeLink(2, 1) // reversed orientation must also cut 1→2
+	if c.find(2, 0) != nil {
+		t.Fatal("reverse link removal missed the path")
+	}
+}
+
+func TestRemoveLinkDropsDegeneratePaths(t *testing.T) {
+	c := newPathCache(0, 8, hold)
+	c.add(ids(0, 1), 0)
+	c.removeLink(0, 1)
+	if c.len() != 0 {
+		t.Fatal("single-hop path survived removal of its only link")
+	}
+}
+
+func TestSplice(t *testing.T) {
+	got := splice(ids(0, 1, 2), ids(2, 3, 4))
+	if !equalPath(got, ids(0, 1, 2, 3, 4)) {
+		t.Fatalf("splice = %v", got)
+	}
+	if splice(ids(0, 1, 2), ids(9, 3)) != nil {
+		t.Fatal("splice with mismatched junction succeeded")
+	}
+	if splice(ids(0, 1, 2), ids(2, 1, 5)) != nil {
+		t.Fatal("splice produced a route visiting node 1 twice")
+	}
+	if splice(nil, ids(1, 2)) != nil || splice(ids(0, 1), nil) != nil {
+		t.Fatal("splice of empty input succeeded")
+	}
+}
+
+// Property: find never returns a path with repeated nodes or one that
+// does not start at the owner and end at the target.
+func TestFindReturnsWellFormedPaths(t *testing.T) {
+	f := func(hops []uint8, target uint8) bool {
+		c := newPathCache(0, 16, hold)
+		path := ids(0)
+		seen := map[routing.NodeID]bool{0: true}
+		for _, h := range hops {
+			n := routing.NodeID(h%30 + 1)
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			path = append(path, n)
+		}
+		c.add(path, 0)
+		got := c.find(routing.NodeID(target%31), 0)
+		if got == nil {
+			return true
+		}
+		if got[0] != 0 || got[len(got)-1] != routing.NodeID(target%31) {
+			return false
+		}
+		dup := map[routing.NodeID]bool{}
+		for _, n := range got {
+			if dup[n] {
+				return false
+			}
+			dup[n] = true
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,561 @@
+// Package dsr implements the Dynamic Source Routing protocol (Johnson,
+// Maltz et al.), the source-routing baseline in the LDR paper.
+//
+// DSR avoids routing loops by carrying the complete route in every data
+// packet: a route request accumulates the path it traverses, the reply
+// returns that path to the origin, and data packets then specify every
+// hop. Loop-freedom is structural, but the price is header overhead and a
+// route cache whose staleness under mobility produces the sharp delivery
+// degradation the paper's figures show.
+//
+// The DraftVariant switch approximates the two implementation generations
+// evaluated in the paper: GloMoSim's draft-3 code (Figs. 2–5) and
+// QualNet's draft-7 code (Fig. 6), which adds salvaging limits and
+// discovery backoff and performs "slightly better, but still shows the
+// same downward trend with increasing mobility".
+package dsr
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// Config parameterizes DSR.
+type Config struct {
+	DraftVariant     int           // 3 (GloMoSim) or 7 (QualNet)
+	CacheCapacity    int           // cached source routes
+	CacheLifetime    time.Duration // path expiry
+	ReplyFromCache   bool          // intermediate nodes answer from cache
+	MaxSalvage       int           // salvage attempts per packet (draft 7)
+	MaxQueuedPerDest int
+	DiscoveryTimeout time.Duration // per-attempt reply wait
+	MaxRetries       int           // discovery attempts before giving up
+	BackoffBase      time.Duration // inter-attempt backoff (draft 7: exponential)
+	NetDiameter      int
+	BroadcastJitter  time.Duration
+	ReqCacheLife     time.Duration // RREQ duplicate-suppression window
+
+	// Promiscuous enables overhearing: routes are learned from source
+	// routes carried in traffic addressed to other nodes (one of the DSR
+	// drafts' classic optimizations).
+	Promiscuous bool
+}
+
+// DefaultConfig returns the draft-3 configuration used for Figs. 2–5.
+func DefaultConfig() Config {
+	return Config{
+		DraftVariant:     3,
+		CacheCapacity:    64,
+		CacheLifetime:    300 * time.Second,
+		ReplyFromCache:   true,
+		MaxSalvage:       0,
+		MaxQueuedPerDest: 16,
+		DiscoveryTimeout: 500 * time.Millisecond,
+		MaxRetries:       4,
+		BackoffBase:      500 * time.Millisecond,
+		NetDiameter:      35,
+		BroadcastJitter:  10 * time.Millisecond,
+		ReqCacheLife:     6 * time.Second,
+	}
+}
+
+// Draft7Config returns the QualNet-style draft-7 configuration (Fig. 6):
+// salvaging on, exponential discovery backoff.
+func Draft7Config() Config {
+	cfg := DefaultConfig()
+	cfg.DraftVariant = 7
+	cfg.MaxSalvage = 4
+	cfg.BackoffBase = time.Second
+	return cfg
+}
+
+// RREQ is a DSR route request with its accumulated route record.
+type RREQ struct {
+	Target routing.NodeID
+	Origin routing.NodeID
+	ReqID  uint32
+	Route  []routing.NodeID // path traversed so far, Route[0] == Origin
+	TTL    int
+}
+
+// Kind implements routing.Message.
+func (RREQ) Kind() metrics.ControlKind { return metrics.RREQ }
+
+// Size implements routing.Message.
+func (q RREQ) Size() int { return len(q.Marshal()) }
+
+// RREP carries the complete discovered route back to the origin. It is
+// source-routed along the reversed request record.
+type RREP struct {
+	Origin routing.NodeID // RREQ origin (terminus of this reply)
+	Target routing.NodeID // requested destination
+	ReqID  uint32
+	Route  []routing.NodeID // full path Origin..Target
+	Index  int              // current position on the reversed return path
+}
+
+// Kind implements routing.Message.
+func (RREP) Kind() metrics.ControlKind { return metrics.RREP }
+
+// Size implements routing.Message.
+func (p RREP) Size() int { return len(p.Marshal()) }
+
+// RERR reports a broken source-route link to the packet's origin. It is
+// source-routed back along the failed packet's traversed prefix.
+type RERR struct {
+	From, To routing.NodeID   // the broken link
+	Origin   routing.NodeID   // who must learn about it
+	Route    []routing.NodeID // return path to Origin
+	Index    int
+}
+
+// Kind implements routing.Message.
+func (RERR) Kind() metrics.ControlKind { return metrics.RERR }
+
+// Size implements routing.Message.
+func (e RERR) Size() int { return len(e.Marshal()) }
+
+type reqKey struct {
+	origin routing.NodeID
+	id     uint32
+}
+
+type discovery struct {
+	id      uint32
+	retries int
+	timer   *sim.Event
+}
+
+// DSR is one node's protocol instance.
+type DSR struct {
+	node *routing.Node
+	cfg  Config
+
+	cache     *pathCache
+	reqSeen   map[reqKey]struct{}
+	pending   map[routing.NodeID][]*routing.DataPacket
+	active    map[routing.NodeID]*discovery
+	nextReqID uint32
+	stopped   bool
+}
+
+var _ routing.Protocol = (*DSR)(nil)
+
+// New builds a DSR instance bound to a node.
+func New(node *routing.Node, cfg Config) *DSR {
+	return &DSR{
+		node:    node,
+		cfg:     cfg,
+		cache:   newPathCache(node.ID(), cfg.CacheCapacity, cfg.CacheLifetime),
+		reqSeen: make(map[reqKey]struct{}),
+		pending: make(map[routing.NodeID][]*routing.DataPacket),
+		active:  make(map[routing.NodeID]*discovery),
+	}
+}
+
+// Start implements routing.Protocol.
+func (d *DSR) Start() {
+	if d.cfg.Promiscuous {
+		d.node.SetPromiscuous(d.onOverhear)
+	}
+}
+
+// onOverhear learns routes from traffic between other nodes: an overheard
+// source-routed packet proves the transmitter is a neighbor, so the route
+// from the transmitter onward is reachable through it.
+func (d *DSR) onOverhear(from routing.NodeID, data *routing.DataPacket, msg routing.Message) {
+	me := d.node.ID()
+	now := d.node.Now()
+	learn := func(route []routing.NodeID, at int) {
+		if at < 0 || at >= len(route) || route[at] != from || hasNode(route, me) {
+			return
+		}
+		d.cache.add(append([]routing.NodeID{me}, route[at:]...), now)
+	}
+	switch {
+	case data != nil && len(data.SourceRoute) > 0:
+		learn(data.SourceRoute, data.SRIndex)
+	case msg != nil:
+		if p, ok := msg.(RREP); ok {
+			// The reply travels the reversed route; the transmitter sits at
+			// Index on the reversed path, i.e. len-1-Index on the forward
+			// route, from where the route continues to the target.
+			learn(p.Route, len(p.Route)-1-p.Index)
+		}
+	}
+}
+
+// Stop implements routing.Protocol.
+func (d *DSR) Stop() {
+	d.stopped = true
+	for _, disc := range d.active {
+		if disc.timer != nil {
+			disc.timer.Cancel()
+		}
+	}
+}
+
+// --- data plane ---
+
+// Originate implements routing.Protocol.
+func (d *DSR) Originate(pkt *routing.DataPacket) {
+	now := d.node.Now()
+	if route := d.cache.find(pkt.Dst, now); route != nil {
+		pkt.SourceRoute = route
+		pkt.SRIndex = 0
+		d.transmitAlongRoute(pkt)
+		return
+	}
+	d.queuePacket(pkt)
+	d.solicit(pkt.Dst)
+}
+
+// HandleData implements routing.Protocol.
+func (d *DSR) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
+	me := d.node.ID()
+	if pkt.Dst == me {
+		d.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		d.node.DropData(pkt)
+		return
+	}
+	// Advance along the source route. The packet names us at SRIndex+1.
+	if pkt.SRIndex+1 >= len(pkt.SourceRoute) || pkt.SourceRoute[pkt.SRIndex+1] != me {
+		d.node.DropData(pkt) // malformed or duplicated header
+		return
+	}
+	pkt.SRIndex++
+	// Relays learn the route suffix ahead of them for free.
+	d.cache.add(pkt.SourceRoute[pkt.SRIndex:], d.node.Now())
+	d.transmitAlongRoute(pkt)
+}
+
+// transmitAlongRoute sends pkt to the next node named in its source route.
+func (d *DSR) transmitAlongRoute(pkt *routing.DataPacket) {
+	if pkt.SRIndex+1 >= len(pkt.SourceRoute) {
+		d.node.DropData(pkt)
+		return
+	}
+	next := pkt.SourceRoute[pkt.SRIndex+1]
+	d.node.SendData(next, pkt, nil, func() { d.linkFailure(pkt, next) })
+}
+
+// linkFailure implements route maintenance: purge the link, notify the
+// origin, and (draft 7) salvage the packet from the local cache.
+func (d *DSR) linkFailure(pkt *routing.DataPacket, next routing.NodeID) {
+	if d.stopped {
+		return
+	}
+	me := d.node.ID()
+	d.cache.removeLink(me, next)
+
+	if pkt.Src != me {
+		d.sendRERR(pkt, next)
+	}
+
+	// Salvage: re-route from the local cache if the variant allows it.
+	if d.cfg.MaxSalvage > 0 && pkt.Salvaged < d.cfg.MaxSalvage {
+		if route := d.cache.find(pkt.Dst, d.node.Now()); route != nil {
+			pkt.Salvaged++
+			pkt.SourceRoute = route
+			pkt.SRIndex = 0
+			d.transmitAlongRoute(pkt)
+			return
+		}
+	}
+	if pkt.Src == me {
+		d.queuePacket(pkt)
+		d.solicit(pkt.Dst)
+		return
+	}
+	d.node.DropData(pkt)
+}
+
+// sendRERR reports the broken link to the packet's origin along the
+// reversed traversed prefix.
+func (d *DSR) sendRERR(pkt *routing.DataPacket, next routing.NodeID) {
+	me := d.node.ID()
+	// Reverse of SourceRoute[0..SRIndex]: me back to the origin.
+	ret := reverse(pkt.SourceRoute[:pkt.SRIndex+1])
+	if len(ret) < 2 || ret[0] != me {
+		return
+	}
+	e := RERR{From: me, To: next, Origin: pkt.Src, Route: ret, Index: 0}
+	d.node.Metrics().CountControlInitiate(metrics.RERR)
+	d.node.SendControl(ret[1], e, nil)
+}
+
+func (d *DSR) queuePacket(pkt *routing.DataPacket) {
+	q := d.pending[pkt.Dst]
+	if len(q) >= d.cfg.MaxQueuedPerDest {
+		d.node.DropData(q[0])
+		q = q[1:]
+	}
+	d.pending[pkt.Dst] = append(q, pkt)
+}
+
+func (d *DSR) flushPending(dst routing.NodeID) {
+	q := d.pending[dst]
+	if len(q) == 0 {
+		return
+	}
+	now := d.node.Now()
+	route := d.cache.find(dst, now)
+	if route == nil {
+		return
+	}
+	delete(d.pending, dst)
+	for _, pkt := range q {
+		pkt.SourceRoute = append([]routing.NodeID(nil), route...)
+		pkt.SRIndex = 0
+		d.transmitAlongRoute(pkt)
+	}
+}
+
+// --- route discovery ---
+
+func (d *DSR) solicit(dst routing.NodeID) {
+	if d.stopped || dst == d.node.ID() {
+		return
+	}
+	if _, ok := d.active[dst]; ok {
+		return
+	}
+	d.nextReqID++
+	disc := &discovery{id: d.nextReqID}
+	d.active[dst] = disc
+	d.broadcastRREQ(dst, disc)
+}
+
+func (d *DSR) broadcastRREQ(dst routing.NodeID, disc *discovery) {
+	me := d.node.ID()
+	ttl := 1 // non-propagating ring-0 request first
+	if disc.retries > 0 {
+		ttl = d.cfg.NetDiameter
+	}
+	q := RREQ{
+		Target: dst,
+		Origin: me,
+		ReqID:  disc.id,
+		Route:  []routing.NodeID{me},
+		TTL:    ttl,
+	}
+	d.node.Metrics().CountControlInitiate(metrics.RREQ)
+	d.node.SendControl(routing.BroadcastID, q, nil)
+
+	wait := d.cfg.DiscoveryTimeout
+	if disc.retries > 0 {
+		backoff := d.cfg.BackoffBase
+		if d.cfg.DraftVariant >= 7 {
+			backoff <<= uint(disc.retries - 1) // exponential backoff
+		}
+		wait += backoff
+	}
+	disc.timer = d.node.Schedule(wait, func() { d.discoveryTimeout(dst, disc) })
+}
+
+func (d *DSR) discoveryTimeout(dst routing.NodeID, disc *discovery) {
+	if d.stopped || d.active[dst] != disc {
+		return
+	}
+	disc.retries++
+	if disc.retries > d.cfg.MaxRetries {
+		delete(d.active, dst)
+		for _, pkt := range d.pending[dst] {
+			d.node.DropData(pkt)
+		}
+		delete(d.pending, dst)
+		return
+	}
+	d.nextReqID++
+	disc.id = d.nextReqID
+	d.broadcastRREQ(dst, disc)
+}
+
+// --- control plane ---
+
+// HandleControl implements routing.Protocol.
+func (d *DSR) HandleControl(from routing.NodeID, msg routing.Message) {
+	if d.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case RREQ:
+		d.handleRREQ(m)
+	case RREP:
+		d.handleRREP(m)
+	case RERR:
+		d.handleRERR(m)
+	}
+}
+
+func (d *DSR) handleRREQ(q RREQ) {
+	me := d.node.ID()
+	if q.Origin == me || hasNode(q.Route, me) {
+		return
+	}
+	key := reqKey{origin: q.Origin, id: q.ReqID}
+	if _, seen := d.reqSeen[key]; seen {
+		return
+	}
+	d.reqSeen[key] = struct{}{}
+	d.node.Schedule(d.cfg.ReqCacheLife, func() { delete(d.reqSeen, key) })
+	now := d.node.Now()
+
+	// Learn the reverse of the accumulated record (symmetric links).
+	d.cache.add(append([]routing.NodeID{me}, reverse(q.Route)...), now)
+
+	route := append(append([]routing.NodeID(nil), q.Route...), me)
+
+	if q.Target == me {
+		d.reply(RREP{Origin: q.Origin, Target: me, ReqID: q.ReqID, Route: route})
+		return
+	}
+
+	if d.cfg.ReplyFromCache {
+		if tail := d.cache.find(q.Target, now); tail != nil {
+			// Splice accumulated record + cached remainder, rejecting
+			// routes that would visit a node twice.
+			if spliced := splice(route, tail); spliced != nil {
+				d.reply(RREP{Origin: q.Origin, Target: q.Target, ReqID: q.ReqID, Route: spliced})
+				return
+			}
+		}
+	}
+
+	if q.TTL <= 1 {
+		return
+	}
+	rq := q
+	rq.TTL--
+	rq.Route = route
+	jitter := time.Duration(d.node.RNG().Float64() * float64(d.cfg.BroadcastJitter))
+	d.node.Schedule(jitter, func() {
+		if d.stopped {
+			return
+		}
+		d.node.SendControl(routing.BroadcastID, rq, nil)
+	})
+}
+
+// reply sends a RREP source-routed along the reversed discovered route.
+func (d *DSR) reply(p RREP) {
+	me := d.node.ID()
+	ret := reverse(p.Route)
+	// Trim the return path to start at this node (the replier may be an
+	// intermediate cache hit partway along the route).
+	start := -1
+	for i, n := range ret {
+		if n == me {
+			start = i
+			break
+		}
+	}
+	if start < 0 || start+1 >= len(ret) {
+		return
+	}
+	p.Index = start
+	d.node.Metrics().CountControlInitiate(metrics.RREP)
+	d.node.SendControl(ret[start+1], p, nil)
+}
+
+func (d *DSR) handleRREP(p RREP) {
+	me := d.node.ID()
+	now := d.node.Now()
+	ret := reverse(p.Route)
+
+	if p.Origin == me {
+		d.cache.add(p.Route, now)
+		d.node.Metrics().RREPUsable++
+		if disc, ok := d.active[p.Target]; ok {
+			if disc.timer != nil {
+				disc.timer.Cancel()
+			}
+			delete(d.active, p.Target)
+		}
+		d.flushPending(p.Target)
+		return
+	}
+
+	// Relays on the return path learn the downstream portion of the route.
+	idx := p.Index + 1
+	if idx >= len(ret) || ret[idx] != me {
+		return
+	}
+	// From me, the discovered route reaches the target along ret[:idx+1]
+	// reversed. Cache the forward suffix we now know.
+	d.cache.add(reverse(ret[:idx+1]), now)
+	d.node.Metrics().RREPUsable++
+	if idx+1 >= len(ret) {
+		return
+	}
+	fwd := p
+	fwd.Index = idx
+	d.node.SendControl(ret[idx+1], fwd, nil)
+}
+
+func (d *DSR) handleRERR(e RERR) {
+	me := d.node.ID()
+	d.cache.removeLink(e.From, e.To)
+	if e.Origin == me {
+		return
+	}
+	idx := e.Index + 1
+	if idx >= len(e.Route) || e.Route[idx] != me {
+		return
+	}
+	if idx+1 >= len(e.Route) {
+		return
+	}
+	fwd := e
+	fwd.Index = idx
+	d.node.SendControl(e.Route[idx+1], fwd, nil)
+}
+
+// --- helpers ---
+
+// CacheLen exposes the number of cached routes (for tests).
+func (d *DSR) CacheLen() int { return d.cache.len() }
+
+// CachedRoute exposes the cached route to dst, if any (for tests).
+func (d *DSR) CachedRoute(dst routing.NodeID) []routing.NodeID {
+	return d.cache.find(dst, d.node.Now())
+}
+
+func reverse(p []routing.NodeID) []routing.NodeID {
+	out := make([]routing.NodeID, len(p))
+	for i, n := range p {
+		out[len(p)-1-i] = n
+	}
+	return out
+}
+
+// splice joins an accumulated record with a cached tail (head's last node
+// == tail's first node), returning nil if any node would repeat.
+func splice(head, tail []routing.NodeID) []routing.NodeID {
+	if len(head) == 0 || len(tail) == 0 || head[len(head)-1] != tail[0] {
+		return nil
+	}
+	seen := make(map[routing.NodeID]struct{}, len(head)+len(tail))
+	for _, n := range head {
+		if _, dup := seen[n]; dup {
+			return nil
+		}
+		seen[n] = struct{}{}
+	}
+	out := append([]routing.NodeID(nil), head...)
+	for _, n := range tail[1:] {
+		if _, dup := seen[n]; dup {
+			return nil
+		}
+		seen[n] = struct{}{}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package dsr_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/dsr"
+	"github.com/manetlab/ldr/internal/mobility"
+)
+
+// TestOverhearingLearnsRoutes: node 4 sits beside the 0→3 chain without
+// carrying any traffic. With promiscuous mode it learns a route to the
+// destination purely from overheard source-routed packets.
+func TestOverhearingLearnsRoutes(t *testing.T) {
+	// Chain 0-1-2-3 at y=0; bystander 4 within range of node 1 only.
+	pts := []mobility.Point{
+		{X: 0}, {X: 250}, {X: 500}, {X: 750},
+		{X: 250, Y: 200},
+	}
+	run := func(promisc bool) []int {
+		cfg := dsr.DefaultConfig()
+		cfg.Promiscuous = promisc
+		nw := buildNet(mobility.NewStatic(pts), 4, cfg)
+		nw.Start()
+		for ts := 100 * time.Millisecond; ts < 2*time.Second; ts += 250 * time.Millisecond {
+			nw.Sim.At(ts, func() { nw.Nodes[0].OriginateData(3, 256) })
+		}
+		nw.Sim.Run(3 * time.Second)
+		route := dsrAt(nw, 4).CachedRoute(3)
+		if route == nil {
+			return nil
+		}
+		out := make([]int, len(route))
+		for i, n := range route {
+			out[i] = int(n)
+		}
+		return out
+	}
+
+	if got := run(false); got != nil {
+		t.Fatalf("without promiscuous mode the bystander learned %v", got)
+	}
+	got := run(true)
+	want := []int{4, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("overheard route = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overheard route = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestOverhearingNeverLearnsRoutesThroughItself: a node already named in
+// an overheard route must not cache it (that would make a self-loop).
+func TestOverhearingSkipsOwnRoutes(t *testing.T) {
+	pts := []mobility.Point{{X: 0}, {X: 250}, {X: 500}, {X: 750}}
+	cfg := dsr.Draft7Config()
+	cfg.Promiscuous = true
+	nw := buildNet(mobility.NewStatic(pts), 8, cfg)
+	nw.Start()
+	for ts := 100 * time.Millisecond; ts < 2*time.Second; ts += 250 * time.Millisecond {
+		nw.Sim.At(ts, func() { nw.Nodes[0].OriginateData(3, 256) })
+	}
+	nw.Sim.Run(3 * time.Second)
+
+	// Relay 1 hears node 2's transmissions carrying routes that include
+	// node 1 itself; its cached route to 3 must not pass through itself
+	// twice.
+	route := dsrAt(nw, 1).CachedRoute(3)
+	seen := map[int]bool{}
+	for _, n := range route {
+		if seen[int(n)] {
+			t.Fatalf("route %v visits %d twice", route, n)
+		}
+		seen[int(n)] = true
+	}
+}

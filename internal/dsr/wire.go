@@ -1,0 +1,100 @@
+package dsr
+
+import (
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/wire"
+)
+
+func encodeRoute(enc *wire.Encoder, route []routing.NodeID) {
+	enc.U16(uint16(len(route)))
+	for _, n := range route {
+		enc.Node(int(n))
+	}
+}
+
+func decodeRoute(d *wire.Decoder) []routing.NodeID {
+	n := int(d.U16())
+	var route []routing.NodeID
+	for i := 0; i < n; i++ {
+		route = append(route, routing.NodeID(d.Node()))
+	}
+	return route
+}
+
+// Marshal encodes the RREQ (with its accumulated route record).
+func (q RREQ) Marshal() []byte {
+	enc := wire.NewEncoder(wire.TypeDSRRREQ).
+		Node(int(q.Target)).
+		Node(int(q.Origin)).
+		U32(q.ReqID).
+		U8(uint8(max(min(q.TTL, 255), 0)))
+	encodeRoute(enc, q.Route)
+	return enc.Bytes()
+}
+
+// UnmarshalRREQ decodes a DSR RREQ.
+func UnmarshalRREQ(b []byte) (RREQ, error) {
+	d, err := wire.NewDecoder(b, wire.TypeDSRRREQ)
+	if err != nil {
+		return RREQ{}, err
+	}
+	var q RREQ
+	q.Target = routing.NodeID(d.Node())
+	q.Origin = routing.NodeID(d.Node())
+	q.ReqID = d.U32()
+	q.TTL = int(d.U8())
+	q.Route = decodeRoute(d)
+	return q, d.Err()
+}
+
+// Marshal encodes the RREP (carrying the complete discovered route).
+func (p RREP) Marshal() []byte {
+	enc := wire.NewEncoder(wire.TypeDSRRREP).
+		Node(int(p.Origin)).
+		Node(int(p.Target)).
+		U32(p.ReqID).
+		U16(uint16(p.Index))
+	encodeRoute(enc, p.Route)
+	return enc.Bytes()
+}
+
+// UnmarshalRREP decodes a DSR RREP.
+func UnmarshalRREP(b []byte) (RREP, error) {
+	d, err := wire.NewDecoder(b, wire.TypeDSRRREP)
+	if err != nil {
+		return RREP{}, err
+	}
+	var p RREP
+	p.Origin = routing.NodeID(d.Node())
+	p.Target = routing.NodeID(d.Node())
+	p.ReqID = d.U32()
+	p.Index = int(d.U16())
+	p.Route = decodeRoute(d)
+	return p, d.Err()
+}
+
+// Marshal encodes the RERR (with its source-routed return path).
+func (e RERR) Marshal() []byte {
+	enc := wire.NewEncoder(wire.TypeDSRRERR).
+		Node(int(e.From)).
+		Node(int(e.To)).
+		Node(int(e.Origin)).
+		U16(uint16(e.Index))
+	encodeRoute(enc, e.Route)
+	return enc.Bytes()
+}
+
+// UnmarshalRERR decodes a DSR RERR.
+func UnmarshalRERR(b []byte) (RERR, error) {
+	d, err := wire.NewDecoder(b, wire.TypeDSRRERR)
+	if err != nil {
+		return RERR{}, err
+	}
+	var e RERR
+	e.From = routing.NodeID(d.Node())
+	e.To = routing.NodeID(d.Node())
+	e.Origin = routing.NodeID(d.Node())
+	e.Index = int(d.U16())
+	e.Route = decodeRoute(d)
+	return e, d.Err()
+}

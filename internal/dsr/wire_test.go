@@ -1,0 +1,60 @@
+package dsr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+func routeFrom(raw []int32) []routing.NodeID {
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]routing.NodeID, len(raw))
+	for i, v := range raw {
+		out[i] = routing.NodeID(v)
+	}
+	return out
+}
+
+func TestRREQRoundTrip(t *testing.T) {
+	f := func(target, origin int32, reqID uint32, ttl uint8, raw []int32) bool {
+		q := RREQ{
+			Target: routing.NodeID(target), Origin: routing.NodeID(origin),
+			ReqID: reqID, TTL: int(ttl), Route: routeFrom(raw),
+		}
+		got, err := UnmarshalRREQ(q.Marshal())
+		return err == nil && reflect.DeepEqual(got, q)
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRREPRoundTrip(t *testing.T) {
+	p := RREP{Origin: 0, Target: 5, ReqID: 9, Index: 2, Route: ids(0, 1, 2, 5)}
+	got, err := UnmarshalRREP(p.Marshal())
+	if err != nil || !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip: %+v != %+v (%v)", got, p, err)
+	}
+}
+
+func TestRERRRoundTrip(t *testing.T) {
+	e := RERR{From: 2, To: 3, Origin: 0, Index: 1, Route: ids(2, 1, 0)}
+	got, err := UnmarshalRERR(e.Marshal())
+	if err != nil || !reflect.DeepEqual(got, e) {
+		t.Fatalf("round trip: %+v != %+v (%v)", got, e, err)
+	}
+}
+
+func TestSizeGrowsWithRoute(t *testing.T) {
+	short := RREQ{Route: ids(0)}
+	long := RREQ{Route: ids(0, 1, 2, 3, 4, 5, 6, 7)}
+	if long.Size() != short.Size()+7*4 {
+		t.Fatalf("per-hop header cost: %d -> %d", short.Size(), long.Size())
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/ldr/internal/core"
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+// LDRVariant is one ablation point: an LDR configuration with a single
+// optimization removed (or, for the OLSR row, the jitter queue toggled).
+type LDRVariant struct {
+	Name   string
+	Mutate func(*core.Config)
+}
+
+// Variants enumerates the ablations of the design choices the paper's §4
+// calls out explicitly.
+func Variants() []LDRVariant {
+	return []LDRVariant{
+		{Name: "ldr-full", Mutate: func(*core.Config) {}},
+		{Name: "no-multi-rrep", Mutate: func(c *core.Config) { c.MultipleRREPs = false }},
+		{Name: "no-req-as-err", Mutate: func(c *core.Config) { c.RequestAsError = false }},
+		{Name: "no-reduced-dist", Mutate: func(c *core.Config) { c.ReducedDistance = false }},
+		{Name: "no-min-lifetime", Mutate: func(c *core.Config) { c.MinLifetime = false }},
+		{Name: "no-optimal-ttl", Mutate: func(c *core.Config) { c.OptimalTTL = false }},
+		{Name: "no-ring", Mutate: func(c *core.Config) {
+			// Disable the expanding ring: first attempt floods network-wide.
+			c.TTLStart = c.NetDiameter
+			c.OptimalTTL = false
+		}},
+		{Name: "ldr+multipath", Mutate: func(c *core.Config) {
+			// Extension: loop-free alternate successors with instant
+			// failover (the labeled-distance multipath direction).
+			c.Multipath = true
+		}},
+	}
+}
+
+// Ablation measures each LDR variant (plus OLSR with and without the FIFO
+// jitter queue) on the 50-node, 10-flow, constant-motion scenario — the
+// regime where discovery efficiency matters most.
+func Ablation(o Options) error {
+	o = o.Defaults()
+	const pause = 0 * time.Second
+
+	fmt.Fprintf(o.Out, "\nAblation — 50 nodes, 10 flows, pause 0 s, %v sim, %d trials\n", o.SimTime, o.Trials)
+	fmt.Fprintf(o.Out, "%-16s %16s %16s %16s %16s\n",
+		"variant", "delivery %", "latency ms", "net load", "rreq load")
+
+	for _, v := range Variants() {
+		cfg := core.DefaultConfig()
+		v.Mutate(&cfg)
+		var samples []runMetrics
+		for _, seed := range o.trialSeeds() {
+			sc := scenario.Nodes50(scenario.LDR, 10, pause, seed)
+			sc.SimTime = o.SimTime
+			sc.LDRConfig = &cfg
+			m, err := run(sc)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, m)
+		}
+		printAblationRow(o, v.Name, samples)
+	}
+
+	for _, proto := range []scenario.ProtocolName{scenario.OLSR, scenario.OLSRJ} {
+		var samples []runMetrics
+		for _, seed := range o.trialSeeds() {
+			sc := scenario.Nodes50(proto, 10, pause, seed)
+			sc.SimTime = o.SimTime
+			m, err := run(sc)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, m)
+		}
+		printAblationRow(o, string(proto), samples)
+	}
+
+	// MAC-level ablation: LDR with RTS/CTS virtual carrier sensing.
+	var samples []runMetrics
+	for _, seed := range o.trialSeeds() {
+		sc := scenario.Nodes50(scenario.LDR, 10, pause, seed)
+		sc.SimTime = o.SimTime
+		sc.RTSCTS = true
+		m, err := run(sc)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, m)
+	}
+	printAblationRow(o, "ldr+rtscts", samples)
+	return nil
+}
+
+func printAblationRow(o Options, name string, samples []runMetrics) {
+	row := summarizeRuns(samples)
+	fmt.Fprintf(o.Out, "%-16s %s %s %s %s\n", name,
+		ci(row.delivery), ci(row.latency), ci(row.netLoad), ci(row.rreqLoad))
+}

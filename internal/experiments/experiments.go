@@ -1,0 +1,237 @@
+// Package experiments regenerates every table and figure in the LDR
+// paper's evaluation (§4). Each experiment runs the corresponding
+// scenario sweep, aggregates trials into mean ± 95% CI, and renders the
+// same rows/series the paper reports.
+//
+// Scale knobs: Options.SimTime and Options.Trials default to a reduced
+// configuration that preserves the paper's comparative shape while
+// completing in minutes on a laptop; passing 900 s and 10 trials
+// reproduces the paper's full setup.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/stats"
+)
+
+// Options control experiment scale and output.
+type Options struct {
+	Trials    int           // random seeds per configuration (paper: 10)
+	SimTime   time.Duration // simulated seconds per run (paper: 900 s)
+	Out       io.Writer     // rendered tables/series
+	BaseSeed  int64         // first seed; trials use BaseSeed..BaseSeed+Trials-1
+	Protocols []scenario.ProtocolName
+}
+
+// Defaults fills unset options with the reduced-scale defaults.
+func (o Options) Defaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 3
+	}
+	if o.SimTime == 0 {
+		o.SimTime = 300 * time.Second
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if len(o.Protocols) == 0 {
+		o.Protocols = scenario.AllProtocols
+	}
+	return o
+}
+
+// runMetrics is the per-run measurement vector (Table 1's columns).
+type runMetrics struct {
+	delivery float64 // %
+	latency  float64 // ms
+	netLoad  float64 // control pkts per received data pkt
+	rreqLoad float64 // RREQs per received data pkt
+	rrepInit float64 // RREPs initiated per RREQ initiated
+	rrepRecv float64 // usable RREPs received per RREQ initiated
+	seqno    float64 // mean destination sequence number
+}
+
+func run(cfg scenario.Config) (runMetrics, error) {
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return runMetrics{}, err
+	}
+	c := res.Collector
+	return runMetrics{
+		delivery: 100 * c.DeliveryRatio(),
+		latency:  float64(c.MeanLatency()) / float64(time.Millisecond),
+		netLoad:  c.NetworkLoad(),
+		rreqLoad: c.RREQLoad(),
+		rrepInit: c.RREPInitPerRREQ(),
+		rrepRecv: c.RREPRecvPerRREQ(),
+		seqno:    c.MeanSeqno(),
+	}, nil
+}
+
+// trialSeeds yields the seed list for one configuration cell.
+func (o Options) trialSeeds() []int64 {
+	seeds := make([]int64, o.Trials)
+	for i := range seeds {
+		seeds[i] = o.BaseSeed + int64(i)
+	}
+	return seeds
+}
+
+// Table1 reproduces the paper's Table 1: for each flow count, every
+// metric averaged over all pause times and both the 50- and 100-node
+// scenarios, reported as mean ± 95% CI per protocol.
+func Table1(o Options) error {
+	o = o.Defaults()
+	pauses := scenario.PauseTimes(o.SimTime)
+
+	for _, flows := range []int{10, 30} {
+		fmt.Fprintf(o.Out, "\nTable 1 — %d flows (mean ± 95%% CI over pause times × {50,100} nodes × %d trials, %v sim)\n",
+			flows, o.Trials, o.SimTime)
+		fmt.Fprintf(o.Out, "%-8s %16s %16s %16s %16s %16s %16s\n",
+			"proto", "delivery %", "latency ms", "net load", "rreq load", "rrep init", "rrep recv")
+		for _, proto := range o.Protocols {
+			var samples []runMetrics
+			for _, pause := range pauses {
+				for _, seed := range o.trialSeeds() {
+					for _, build := range []func(scenario.ProtocolName, int, time.Duration, int64) scenario.Config{
+						scenario.Nodes50, scenario.Nodes100,
+					} {
+						cfg := build(proto, flows, pause, seed)
+						cfg.SimTime = o.SimTime
+						m, err := run(cfg)
+						if err != nil {
+							return err
+						}
+						samples = append(samples, m)
+					}
+				}
+			}
+			row := summarizeRuns(samples)
+			fmt.Fprintf(o.Out, "%-8s %s %s %s %s %s %s\n", proto,
+				ci(row.delivery), ci(row.latency), ci(row.netLoad),
+				ci(row.rreqLoad), ci(row.rrepInit), ci(row.rrepRecv))
+		}
+	}
+	return nil
+}
+
+type summaries struct {
+	delivery, latency, netLoad, rreqLoad, rrepInit, rrepRecv, seqno stats.Summary
+}
+
+func summarizeRuns(ms []runMetrics) summaries {
+	col := func(f func(runMetrics) float64) stats.Summary {
+		xs := make([]float64, len(ms))
+		for i, m := range ms {
+			xs[i] = f(m)
+		}
+		return stats.Summarize(xs)
+	}
+	return summaries{
+		delivery: col(func(m runMetrics) float64 { return m.delivery }),
+		latency:  col(func(m runMetrics) float64 { return m.latency }),
+		netLoad:  col(func(m runMetrics) float64 { return m.netLoad }),
+		rreqLoad: col(func(m runMetrics) float64 { return m.rreqLoad }),
+		rrepInit: col(func(m runMetrics) float64 { return m.rrepInit }),
+		rrepRecv: col(func(m runMetrics) float64 { return m.rrepRecv }),
+		seqno:    col(func(m runMetrics) float64 { return m.seqno }),
+	}
+}
+
+func ci(s stats.Summary) string {
+	return fmt.Sprintf("%8.2f ±%5.2f", s.Mean, s.CI95)
+}
+
+// DeliveryFigure reproduces Figs. 2–5: delivery ratio vs pause time for
+// one (node count, flow count) cell, one series per protocol.
+func DeliveryFigure(o Options, id string, nodes, flows int) error {
+	o = o.Defaults()
+	pauses := scenario.PauseTimes(o.SimTime)
+
+	fmt.Fprintf(o.Out, "\n%s — delivery ratio vs pause time (%d nodes, %d flows, %v sim, %d trials)\n",
+		id, nodes, flows, o.SimTime, o.Trials)
+	fmt.Fprintf(o.Out, "%-8s", "pause_s")
+	for _, proto := range o.Protocols {
+		fmt.Fprintf(o.Out, " %18s", proto)
+	}
+	fmt.Fprintln(o.Out)
+
+	for _, pause := range pauses {
+		fmt.Fprintf(o.Out, "%-8.0f", pause.Seconds())
+		for _, proto := range o.Protocols {
+			var xs []float64
+			for _, seed := range o.trialSeeds() {
+				cfg := cell(proto, nodes, flows, pause, seed)
+				cfg.SimTime = o.SimTime
+				m, err := run(cfg)
+				if err != nil {
+					return err
+				}
+				xs = append(xs, m.delivery)
+			}
+			s := stats.Summarize(xs)
+			fmt.Fprintf(o.Out, "    %7.2f ±%5.2f", s.Mean, s.CI95)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+func cell(proto scenario.ProtocolName, nodes, flows int, pause time.Duration, seed int64) scenario.Config {
+	if nodes == 100 {
+		return scenario.Nodes100(proto, flows, pause, seed)
+	}
+	cfg := scenario.Nodes50(proto, flows, pause, seed)
+	cfg.Nodes = nodes
+	return cfg
+}
+
+// Fig6 reproduces the QualNet cross-check: the Fig. 3 scenario (50 nodes,
+// 30 flows) re-run with the draft-7 DSR variant against AODV — DSR
+// improves slightly but keeps its downward mobility trend.
+func Fig6(o Options) error {
+	o.Protocols = []scenario.ProtocolName{scenario.AODV, scenario.DSR, scenario.DSR7}
+	return DeliveryFigure(o, "Fig 6 (QualNet cross-check: DSR draft 3 vs draft 7)", 50, 30)
+}
+
+// Fig7 reproduces the mean destination sequence number comparison between
+// LDR and AODV at low (10-flow) and high (30-flow) load. The paper's
+// headline: LDR's means stay below ~1.5 while AODV's grow by orders of
+// magnitude, because only LDR destinations control their own numbers.
+func Fig7(o Options) error {
+	o = o.Defaults()
+	pauses := scenario.PauseTimes(o.SimTime)
+
+	fmt.Fprintf(o.Out, "\nFig 7 — mean destination sequence number (50 nodes, %v sim, %d trials)\n",
+		o.SimTime, o.Trials)
+	fmt.Fprintf(o.Out, "%-8s %18s %18s %18s %18s\n",
+		"pause_s", "ldr-10f", "aodv-10f", "ldr-30f", "aodv-30f")
+	for _, pause := range pauses {
+		fmt.Fprintf(o.Out, "%-8.0f", pause.Seconds())
+		for _, flows := range []int{10, 30} {
+			for _, proto := range []scenario.ProtocolName{scenario.LDR, scenario.AODV} {
+				var xs []float64
+				for _, seed := range o.trialSeeds() {
+					cfg := scenario.Nodes50(proto, flows, pause, seed)
+					cfg.SimTime = o.SimTime
+					m, err := run(cfg)
+					if err != nil {
+						return err
+					}
+					xs = append(xs, m.seqno)
+				}
+				s := stats.Summarize(xs)
+				fmt.Fprintf(o.Out, "    %7.2f ±%5.2f", s.Mean, s.CI95)
+			}
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}

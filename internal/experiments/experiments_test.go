@@ -1,0 +1,107 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/experiments"
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+// tiny returns options that keep an experiment under a second or two.
+func tiny(protos ...scenario.ProtocolName) experiments.Options {
+	return experiments.Options{
+		Trials:    1,
+		SimTime:   20 * time.Second,
+		BaseSeed:  1,
+		Protocols: protos,
+	}
+}
+
+func TestDeliveryFigureRendersSeries(t *testing.T) {
+	var buf strings.Builder
+	o := tiny(scenario.LDR)
+	o.Out = &buf
+	if err := experiments.DeliveryFigure(o, "Fig X", 15, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "ldr") {
+		t.Fatalf("missing header/series:\n%s", out)
+	}
+	// One row per pause time: PauseTimes(20s) = {0, 20s}.
+	if rows := strings.Count(out, "±"); rows != 2 {
+		t.Fatalf("want 2 data rows, got %d:\n%s", rows, out)
+	}
+}
+
+func TestFig7ReportsSeqnos(t *testing.T) {
+	var buf strings.Builder
+	o := tiny()
+	o.Out = &buf
+	if err := experiments.Fig7(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"ldr-10f", "aodv-10f", "ldr-30f", "aodv-30f"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("missing column %s:\n%s", col, out)
+		}
+	}
+}
+
+func TestVariantsCoverEveryOptimization(t *testing.T) {
+	names := make(map[string]bool)
+	for _, v := range experiments.Variants() {
+		names[v.Name] = true
+	}
+	for _, want := range []string{
+		"ldr-full", "no-multi-rrep", "no-req-as-err", "no-reduced-dist",
+		"no-min-lifetime", "no-optimal-ttl", "no-ring",
+	} {
+		if !names[want] {
+			t.Fatalf("ablation variant %q missing", want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := experiments.Options{}.Defaults()
+	if o.Trials != 3 || o.SimTime != 300*time.Second || o.BaseSeed != 1 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+	if len(o.Protocols) != 4 {
+		t.Fatalf("default protocols = %v", o.Protocols)
+	}
+}
+
+func TestAblationRendersEveryVariant(t *testing.T) {
+	var buf strings.Builder
+	o := tiny()
+	o.SimTime = 15 * time.Second
+	o.Out = &buf
+	if err := experiments.Ablation(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, row := range []string{"ldr-full", "no-ring", "ldr+multipath", "olsr-nojitter", "ldr+rtscts"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("ablation output missing row %q:\n%s", row, out)
+		}
+	}
+}
+
+func TestTable1RendersBothLoads(t *testing.T) {
+	var buf strings.Builder
+	o := tiny(scenario.LDR)
+	o.SimTime = 15 * time.Second
+	o.Out = &buf
+	if err := experiments.Table1(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "10 flows") || !strings.Contains(out, "30 flows") {
+		t.Fatalf("table1 output missing a flow section:\n%s", out)
+	}
+}

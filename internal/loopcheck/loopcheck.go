@@ -1,0 +1,152 @@
+// Package loopcheck verifies LDR's central claims at runtime: that the
+// successor graph toward every destination is loop-free at every instant
+// (Theorem 4) and that the (sequence number, feasible distance) labels
+// along every successor path satisfy the ordering criterion (Theorem 2).
+//
+// The checker walks the instantaneous routing tables of all nodes — a
+// god's-eye view no protocol has — so it lives outside the protocols and
+// is hooked into simulations by tests, benchmarks, and the invariants
+// example.
+package loopcheck
+
+import (
+	"fmt"
+
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// Violation describes one invariant breach.
+type Violation struct {
+	Dst   routing.NodeID
+	Cycle []routing.NodeID // the offending successor cycle, if any
+	Msg   string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	if len(v.Cycle) > 0 {
+		return fmt.Sprintf("loopcheck: routing loop toward %d: %v", v.Dst, v.Cycle)
+	}
+	return fmt.Sprintf("loopcheck: ordering violation toward %d: %s", v.Dst, v.Msg)
+}
+
+// snapshotAll collects every node's valid routes, indexed by destination.
+type hop struct {
+	node  routing.NodeID
+	next  routing.NodeID
+	seq   uint64
+	fd    int
+	hasFD bool
+}
+
+// Check inspects the instantaneous routing state of all nodes and returns
+// every violation found. Protocols that do not implement
+// routing.TableSnapshotter are skipped.
+func Check(nodes []*routing.Node) []Violation {
+	byDst := make(map[routing.NodeID][]hop)
+	for _, n := range nodes {
+		snap, ok := n.Protocol().(routing.TableSnapshotter)
+		if !ok {
+			continue
+		}
+		for _, e := range snap.SnapshotTable() {
+			if !e.Valid {
+				continue
+			}
+			byDst[e.Dst] = append(byDst[e.Dst], hop{
+				node:  n.ID(),
+				next:  e.Next,
+				seq:   e.SeqNo,
+				fd:    e.FD,
+				hasFD: e.FD > 0,
+			})
+		}
+	}
+
+	var violations []Violation
+	for dst, hops := range byDst {
+		succ := make(map[routing.NodeID]hop, len(hops))
+		for _, h := range hops {
+			succ[h.node] = h
+		}
+		violations = append(violations, checkDst(dst, succ)...)
+	}
+	return violations
+}
+
+// checkDst walks every successor chain toward dst, detecting cycles and
+// (when feasible distances are available) ordering-criterion breaches.
+func checkDst(dst routing.NodeID, succ map[routing.NodeID]hop) []Violation {
+	var violations []Violation
+	// state: 0 unvisited, 1 on current path, 2 cleared.
+	state := make(map[routing.NodeID]int, len(succ))
+
+	for start := range succ {
+		if state[start] != 0 {
+			continue
+		}
+		var path []routing.NodeID
+		cur := start
+		for {
+			if cur == dst {
+				break // reached the destination: chain is fine
+			}
+			h, ok := succ[cur]
+			if !ok {
+				break // chain leaves the set of valid routes: no loop here
+			}
+			switch state[cur] {
+			case 1:
+				// Found a node already on the current path: cycle.
+				violations = append(violations, Violation{Dst: dst, Cycle: cycleFrom(path, cur)})
+				state[cur] = 2
+			case 2:
+				// Joins an already-cleared chain.
+			default:
+				state[cur] = 1
+				path = append(path, cur)
+				cur = h.next
+				continue
+			}
+			break
+		}
+		for _, n := range path {
+			state[n] = 2
+		}
+	}
+
+	// Ordering criterion (Theorem 2): for an edge A→B on the successor
+	// graph (B = A's next hop, B ≠ dst, both with routes and labels):
+	// sn_B > sn_A, or sn_B = sn_A ∧ fd_B < fd_A.
+	for _, h := range succ {
+		if !h.hasFD || h.next == dst {
+			continue
+		}
+		nh, ok := succ[h.next]
+		if !ok || !nh.hasFD {
+			continue
+		}
+		if nh.seq < h.seq {
+			violations = append(violations, Violation{
+				Dst: dst,
+				Msg: fmt.Sprintf("successor %d has older seq (%d) than %d (%d)", h.next, nh.seq, h.node, h.seq),
+			})
+		} else if nh.seq == h.seq && nh.fd >= h.fd {
+			violations = append(violations, Violation{
+				Dst: dst,
+				Msg: fmt.Sprintf("successor %d fd=%d not below %d fd=%d at equal seq", h.next, nh.fd, h.node, h.fd),
+			})
+		}
+	}
+	return violations
+}
+
+func cycleFrom(path []routing.NodeID, repeat routing.NodeID) []routing.NodeID {
+	for i, n := range path {
+		if n == repeat {
+			out := append([]routing.NodeID(nil), path[i:]...)
+			return append(out, repeat)
+		}
+	}
+	return append([]routing.NodeID(nil), repeat)
+}

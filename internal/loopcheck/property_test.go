@@ -1,0 +1,71 @@
+package loopcheck_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/manetlab/ldr/internal/loopcheck"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// naiveHasCycle is the oracle: follow the successor chain from every node
+// with a step budget; exceeding n steps without reaching the destination
+// or a dead end means a cycle.
+func naiveHasCycle(dst routing.NodeID, succ map[routing.NodeID]routing.NodeID, n int) bool {
+	for start := range succ {
+		cur := start
+		for steps := 0; steps <= n; steps++ {
+			if cur == dst {
+				break
+			}
+			next, ok := succ[cur]
+			if !ok {
+				break
+			}
+			if steps == n {
+				return true
+			}
+			cur = next
+		}
+	}
+	return false
+}
+
+// TestDetectorAgreesWithNaiveOracle drives the cycle detector with random
+// successor graphs and cross-checks it against brute force.
+func TestDetectorAgreesWithNaiveOracle(t *testing.T) {
+	f := func(raw []uint8) bool {
+		const n = 12
+		const dst = routing.NodeID(0)
+		succ := make(map[routing.NodeID]routing.NodeID)
+		tables := make(map[int][]routing.RouteEntry)
+		for i, v := range raw {
+			node := routing.NodeID(i%n + 1) // nodes 1..n-1 may have routes
+			next := routing.NodeID(int(v) % (n + 1))
+			if next == node {
+				continue // self-successor is not representable table state
+			}
+			if _, dup := succ[node]; dup {
+				continue // one entry per node per destination
+			}
+			succ[node] = next
+			tables[int(node)] = append(tables[int(node)], routing.RouteEntry{
+				Dst: dst, Next: next, Valid: true,
+			})
+		}
+		nodes := network(tables, n+1)
+		got := false
+		for _, v := range loopcheck.Check(nodes) {
+			if len(v.Cycle) > 0 {
+				got = true
+			}
+		}
+		want := naiveHasCycle(dst, succ, n+2)
+		return got == want
+	}
+	cfg := &quick.Config{MaxCount: 1500, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

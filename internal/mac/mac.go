@@ -1,0 +1,412 @@
+// Package mac implements a simplified IEEE 802.11 DCF medium access layer.
+//
+// The model captures the DCF mechanisms that matter to routing-protocol
+// comparisons: carrier sensing with DIFS deferral, slotted binary
+// exponential backoff, unreliable broadcast (single attempt, no ACK), and
+// reliable unicast (SIFS-spaced ACK, up to RetryLimit retransmissions).
+// Exhausting retransmissions triggers the OnFail callback, which the
+// routing protocols use as link-layer failure detection — exactly how
+// AODV, DSR, and LDR detect broken links in the paper's simulations.
+package mac
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// BroadcastAddr is the link-layer broadcast address.
+const BroadcastAddr = -1
+
+// Config parameterizes the MAC.
+type Config struct {
+	SlotTime    time.Duration // backoff slot
+	DIFS        time.Duration // distributed inter-frame space
+	SIFS        time.Duration // short inter-frame space (ACK turnaround)
+	CWMin       int           // initial contention window (slots - 1)
+	CWMax       int           // maximum contention window
+	RetryLimit  int           // unicast retransmission limit
+	QueueCap    int           // interface queue capacity (frames)
+	HeaderBytes int           // MAC+PHY overhead added to every frame
+	AckBytes    int           // ACK frame size on the air
+
+	// RTS/CTS virtual carrier sensing. When enabled, unicast frames whose
+	// network-layer size is at least RTSThreshold bytes are preceded by an
+	// RTS/CTS handshake; overhearing nodes set their network-allocation
+	// vector (NAV) for the advertised exchange duration, which suppresses
+	// hidden-terminal collisions at the cost of extra control frames.
+	RTSCTSEnabled bool
+	RTSThreshold  int // bytes; 0 means every unicast frame
+	RTSBytes      int // RTS frame size on the air
+	CTSBytes      int // CTS frame size on the air
+}
+
+// DefaultConfig returns 802.11-like DCF parameters for a 2 Mb/s DSSS PHY.
+func DefaultConfig() Config {
+	return Config{
+		SlotTime:    20 * time.Microsecond,
+		DIFS:        50 * time.Microsecond,
+		SIFS:        10 * time.Microsecond,
+		CWMin:       31,
+		CWMax:       1023,
+		RetryLimit:  7,
+		QueueCap:    64,
+		HeaderBytes: 58, // 34 B MAC header + 24 B PHY preamble/PLCP
+		AckBytes:    38, // 14 B ACK + PHY overhead
+
+		RTSCTSEnabled: false, // basic access, as in the paper's setup
+		RTSThreshold:  0,
+		RTSBytes:      44, // 20 B RTS + PHY overhead
+		CTSBytes:      38, // 14 B CTS + PHY overhead
+	}
+}
+
+// Frame is one network-layer packet handed to the MAC for transmission.
+type Frame struct {
+	To      int    // destination MAC address, BroadcastAddr for broadcast
+	Bytes   int    // network-layer size in bytes (MAC adds HeaderBytes)
+	Payload any    // opaque network-layer packet
+	OnSent  func() // optional: frame left the interface (broadcast) or was ACKed (unicast)
+	OnFail  func() // optional: unicast retry limit exhausted
+}
+
+// DeliverFunc receives frames addressed to this node (or broadcast).
+type DeliverFunc func(from int, f *Frame)
+
+// PromiscuousFunc receives decoded frames addressed to OTHER nodes, when
+// promiscuous mode is enabled (DSR's overhearing optimizations use this).
+type PromiscuousFunc func(from int, f *Frame)
+
+type airKind uint8
+
+const (
+	airData airKind = iota + 1
+	airAck
+	airRTS
+	airCTS
+)
+
+// airFrame is what actually crosses the radio.
+type airFrame struct {
+	kind    airKind
+	src     int
+	dst     int
+	seq     uint32
+	retried bool
+	dur     time.Duration // RTS/CTS: remaining exchange duration (NAV)
+	frame   *Frame
+}
+
+// Stats are per-interface MAC counters.
+type Stats struct {
+	Sent        uint64 // data frames put on the air (including retries)
+	Acked       uint64 // unicast frames successfully acknowledged
+	Broadcast   uint64 // broadcast frames sent
+	Retries     uint64 // retransmission attempts
+	Failures    uint64 // frames dropped after retry exhaustion
+	QueueDrops  uint64 // frames dropped on enqueue (queue full)
+	Delivered   uint64 // frames delivered up the stack
+	DupSuppress uint64 // duplicate retransmissions suppressed at receiver
+	RTSSent     uint64 // RTS handshakes begun
+	CTSTimeouts uint64 // RTS attempts with no CTS answer
+}
+
+// MAC is one node's medium-access instance.
+type MAC struct {
+	id      int
+	sim     *sim.Simulator
+	medium  *radio.Medium
+	cfg     Config
+	rng     *rng.Source
+	deliver DeliverFunc
+
+	queue    []*Frame
+	inFlight bool
+	cw       int
+	retries  int
+	seq      uint32
+
+	awaitAckSeq uint32
+	awaitAck    bool
+	ackTimer    *sim.Event
+
+	awaitCTS bool
+	ctsTimer *sim.Event
+	navUntil time.Duration
+
+	lastSeq map[int]uint32 // receiver-side dedup: last data seq per source
+	promisc PromiscuousFunc
+
+	stats Stats
+}
+
+// New creates and attaches a MAC for node id.
+func New(id int, s *sim.Simulator, medium *radio.Medium, cfg Config, src *rng.Source, deliver DeliverFunc) *MAC {
+	m := &MAC{
+		id:      id,
+		sim:     s,
+		medium:  medium,
+		cfg:     cfg,
+		rng:     src,
+		deliver: deliver,
+		cw:      cfg.CWMin,
+		lastSeq: make(map[int]uint32),
+	}
+	medium.Attach(id, m.onRadio)
+	return m
+}
+
+// ID returns the MAC address of this interface.
+func (m *MAC) ID() int { return m.id }
+
+// Stats returns a copy of the interface counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// SetPromiscuous installs a tap for frames addressed to other nodes.
+// Pass nil to disable.
+func (m *MAC) SetPromiscuous(fn PromiscuousFunc) { m.promisc = fn }
+
+// QueueLen returns the number of frames waiting in the interface queue.
+func (m *MAC) QueueLen() int { return len(m.queue) }
+
+// Send enqueues a frame for transmission. If the interface queue is full
+// the frame is dropped and OnFail (if set) is invoked immediately.
+func (m *MAC) Send(f *Frame) {
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.stats.QueueDrops++
+		if f.OnFail != nil {
+			f.OnFail()
+		}
+		return
+	}
+	m.queue = append(m.queue, f)
+	m.kick()
+}
+
+// kick starts the send state machine if it is idle and work is queued.
+func (m *MAC) kick() {
+	if m.inFlight || len(m.queue) == 0 {
+		return
+	}
+	m.inFlight = true
+	m.retries = 0
+	m.cw = m.cfg.CWMin
+	m.seq++
+	m.attempt()
+}
+
+// attempt performs one carrier-sense + backoff cycle for the head frame.
+// Both physical carrier sense and the NAV (when RTS/CTS is enabled) must
+// show the channel idle.
+func (m *MAC) attempt() {
+	if m.medium.Busy(m.id) {
+		m.medium.NotifyIdle(m.id, m.attempt)
+		return
+	}
+	if wait := m.navUntil - m.sim.Now(); wait > 0 {
+		m.sim.Schedule(wait, m.attempt)
+		return
+	}
+	backoff := m.cfg.DIFS + time.Duration(m.rng.Intn(m.cw+1))*m.cfg.SlotTime
+	m.sim.Schedule(backoff, func() {
+		if m.medium.Busy(m.id) || m.navUntil > m.sim.Now() {
+			// Channel was captured during our backoff; defer again.
+			m.attempt()
+			return
+		}
+		m.transmitHead()
+	})
+}
+
+func (m *MAC) transmitHead() {
+	f := m.queue[0]
+	if m.useRTS(f) {
+		m.sendRTS(f)
+		return
+	}
+	m.transmitData(f)
+}
+
+// useRTS reports whether the head frame warrants an RTS/CTS handshake.
+func (m *MAC) useRTS(f *Frame) bool {
+	return m.cfg.RTSCTSEnabled && f.To != BroadcastAddr && f.Bytes >= m.cfg.RTSThreshold
+}
+
+// sendRTS begins the RTS/CTS handshake for the head frame.
+func (m *MAC) sendRTS(f *Frame) {
+	dataAir := m.medium.AirTime((f.Bytes + m.cfg.HeaderBytes) * 8)
+	ctsAir := m.medium.AirTime(m.cfg.CTSBytes * 8)
+	ackAir := m.medium.AirTime(m.cfg.AckBytes * 8)
+	// Duration field: everything after the RTS itself.
+	dur := m.cfg.SIFS + ctsAir + m.cfg.SIFS + dataAir + m.cfg.SIFS + ackAir
+	rts := &airFrame{kind: airRTS, src: m.id, dst: f.To, seq: m.seq, dur: dur}
+	rtsAir := m.medium.Transmit(m.id, m.cfg.RTSBytes*8, rts)
+	m.stats.RTSSent++
+
+	m.awaitCTS = true
+	timeout := rtsAir + m.cfg.SIFS + ctsAir + 4*m.cfg.SlotTime
+	m.ctsTimer = m.sim.Schedule(timeout, m.ctsTimeout)
+}
+
+func (m *MAC) ctsTimeout() {
+	if !m.awaitCTS {
+		return
+	}
+	m.awaitCTS = false
+	m.stats.CTSTimeouts++
+	m.retryHead()
+}
+
+// retryHead backs off and retries the head frame, giving up past the
+// retry limit. Shared by the CTS and ACK timeout paths.
+func (m *MAC) retryHead() {
+	m.retries++
+	m.stats.Retries++
+	if m.retries > m.cfg.RetryLimit {
+		m.stats.Failures++
+		m.completeHead(false)
+		return
+	}
+	if m.cw < m.cfg.CWMax {
+		m.cw = min(2*(m.cw+1)-1, m.cfg.CWMax)
+	}
+	m.attempt()
+}
+
+// transmitData puts the head frame's data on the air.
+func (m *MAC) transmitData(f *Frame) {
+	af := &airFrame{
+		kind:    airData,
+		src:     m.id,
+		dst:     f.To,
+		seq:     m.seq,
+		retried: m.retries > 0,
+		frame:   f,
+	}
+	bits := (f.Bytes + m.cfg.HeaderBytes) * 8
+	air := m.medium.Transmit(m.id, bits, af)
+	m.stats.Sent++
+
+	if f.To == BroadcastAddr {
+		m.stats.Broadcast++
+		m.sim.Schedule(air, func() {
+			m.completeHead(true)
+		})
+		return
+	}
+
+	// Unicast: wait for the ACK.
+	m.awaitAck = true
+	m.awaitAckSeq = m.seq
+	ackAir := m.medium.AirTime(m.cfg.AckBytes * 8)
+	timeout := air + m.cfg.SIFS + ackAir + 4*m.cfg.SlotTime
+	m.ackTimer = m.sim.Schedule(timeout, m.ackTimeout)
+}
+
+func (m *MAC) ackTimeout() {
+	if !m.awaitAck {
+		return
+	}
+	m.awaitAck = false
+	m.retryHead()
+}
+
+// completeHead finishes the head-of-line frame and moves to the next.
+func (m *MAC) completeHead(ok bool) {
+	f := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	m.inFlight = false
+	if ok {
+		if f.OnSent != nil {
+			f.OnSent()
+		}
+	} else if f.OnFail != nil {
+		f.OnFail()
+	}
+	m.kick()
+}
+
+func (m *MAC) onRadio(from int, payload any) {
+	af, ok := payload.(*airFrame)
+	if !ok {
+		return
+	}
+	switch af.kind {
+	case airRTS:
+		if af.dst == m.id {
+			// Answer with CTS after SIFS; the CTS re-advertises the
+			// remaining duration for third parties.
+			remaining := af.dur
+			cts := &airFrame{kind: airCTS, src: m.id, dst: af.src, seq: af.seq, dur: remaining}
+			m.sim.Schedule(m.cfg.SIFS, func() {
+				m.medium.Transmit(m.id, m.cfg.CTSBytes*8, cts)
+			})
+			return
+		}
+		m.setNAV(af.dur)
+	case airCTS:
+		if af.dst == m.id && m.awaitCTS {
+			m.awaitCTS = false
+			if m.ctsTimer != nil {
+				m.ctsTimer.Cancel()
+			}
+			f := m.queue[0]
+			m.sim.Schedule(m.cfg.SIFS, func() {
+				if m.inFlight && len(m.queue) > 0 && m.queue[0] == f {
+					m.transmitData(f)
+				}
+			})
+			return
+		}
+		m.setNAV(af.dur)
+	case airAck:
+		if af.dst == m.id && m.awaitAck && af.seq == m.awaitAckSeq {
+			m.awaitAck = false
+			if m.ackTimer != nil {
+				m.ackTimer.Cancel()
+			}
+			m.stats.Acked++
+			m.completeHead(true)
+		}
+	case airData:
+		if af.dst == m.id {
+			m.sendAck(af)
+			if af.retried && m.lastSeq[af.src] == af.seq {
+				// The original got through but its ACK was lost; suppress
+				// the duplicate delivery.
+				m.stats.DupSuppress++
+				return
+			}
+			m.lastSeq[af.src] = af.seq
+			m.stats.Delivered++
+			m.deliver(from, af.frame)
+			return
+		}
+		if af.dst == BroadcastAddr {
+			m.stats.Delivered++
+			m.deliver(from, af.frame)
+			return
+		}
+		if m.promisc != nil {
+			m.promisc(from, af.frame)
+		}
+	}
+}
+
+// setNAV extends the network-allocation vector: the node treats the
+// channel as virtually busy until the overheard exchange completes.
+func (m *MAC) setNAV(dur time.Duration) {
+	if until := m.sim.Now() + dur; until > m.navUntil {
+		m.navUntil = until
+	}
+}
+
+func (m *MAC) sendAck(af *airFrame) {
+	ack := &airFrame{kind: airAck, src: m.id, dst: af.src, seq: af.seq}
+	m.sim.Schedule(m.cfg.SIFS, func() {
+		m.medium.Transmit(m.id, m.cfg.AckBytes*8, ack)
+	})
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import "time"
+
+// numLatencyBuckets is the bucket count of latencyBuckets.
+const numLatencyBuckets = 15
+
+// latencyBuckets are the upper bounds of the latency histogram, spaced
+// roughly logarithmically from 1 ms to 60 s. Latencies above the last
+// bound land in the overflow bucket.
+var latencyBuckets = [numLatencyBuckets]time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second,
+	10 * time.Second, 30 * time.Second, 60 * time.Second,
+}
+
+// LatencyHistogram is a fixed-bucket histogram of end-to-end latencies.
+// Percentile estimates are resolved to bucket upper bounds, which is
+// plenty for the paper's comparisons (the protocols differ by multiples,
+// not percents).
+type LatencyHistogram struct {
+	counts   [numLatencyBuckets + 1]uint64
+	total    uint64
+	maxValue time.Duration
+}
+
+// Observe records one latency sample.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	h.total++
+	if d > h.maxValue {
+		h.maxValue = d
+	}
+	for i, ub := range latencyBuckets {
+		if d <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[numLatencyBuckets]++
+}
+
+// Count returns the number of samples observed.
+func (h *LatencyHistogram) Count() uint64 { return h.total }
+
+// Max returns the largest sample observed.
+func (h *LatencyHistogram) Max() time.Duration { return h.maxValue }
+
+// Percentile returns an upper bound on the p-th percentile latency
+// (0 < p ≤ 100). With no samples it returns zero.
+func (h *LatencyHistogram) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	threshold := uint64(float64(h.total) * p / 100)
+	if threshold == 0 {
+		threshold = 1
+	}
+	var cum uint64
+	for i, c := range h.counts[:numLatencyBuckets] {
+		cum += c
+		if cum >= threshold {
+			return latencyBuckets[i]
+		}
+	}
+	return h.maxValue
+}

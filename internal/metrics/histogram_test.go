@@ -1,0 +1,61 @@
+package metrics_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/metrics"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h metrics.LatencyHistogram
+	// 90 samples at ~5 ms, 10 samples at ~1 s.
+	for i := 0; i < 90; i++ {
+		h.Observe(4 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(900 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Percentile(50); got != 5*time.Millisecond {
+		t.Fatalf("p50 = %v, want 5ms bucket", got)
+	}
+	if got := h.Percentile(95); got != time.Second {
+		t.Fatalf("p95 = %v, want 1s bucket", got)
+	}
+	if h.Max() != 900*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h metrics.LatencyHistogram
+	if h.Percentile(99) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h metrics.LatencyHistogram
+	h.Observe(5 * time.Minute)
+	if got := h.Percentile(100); got != 5*time.Minute {
+		t.Fatalf("overflow percentile = %v, want the recorded max", got)
+	}
+}
+
+func TestHistogramMonotonePercentiles(t *testing.T) {
+	var h metrics.LatencyHistogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	prev := time.Duration(0)
+	for _, p := range []float64{10, 25, 50, 75, 90, 95, 99, 100} {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentiles not monotone: p%.0f = %v after %v", p, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,187 @@
+// Package metrics collects the per-run counters behind every table and
+// figure in the LDR paper's evaluation (§4).
+//
+// Terminology follows the paper: a "transmitted" count includes every
+// hop-wise transmission, an "initiated" count only the first transmission
+// of a packet. The derived quantities (delivery ratio, network load, RREQ
+// load, RREP Init, RREP Recv, mean latency) are the paper's six metrics.
+package metrics
+
+import "time"
+
+// ControlKind classifies control packets for load accounting.
+type ControlKind int
+
+// Control packet kinds across all four protocols.
+const (
+	RREQ ControlKind = iota + 1
+	RREP
+	RERR
+	Hello
+	TC
+	OtherControl
+
+	numKinds
+)
+
+// String returns the kind's wire name.
+func (k ControlKind) String() string {
+	switch k {
+	case RREQ:
+		return "RREQ"
+	case RREP:
+		return "RREP"
+	case RERR:
+		return "RERR"
+	case Hello:
+		return "HELLO"
+	case TC:
+		return "TC"
+	default:
+		return "CTRL"
+	}
+}
+
+// Collector accumulates the counters for one simulation run.
+type Collector struct {
+	// Data plane.
+	DataInitiated   uint64        // CBR packets handed to the network layer
+	DataDelivered   uint64        // CBR packets received at their destination
+	DataTransmitted uint64        // hop-wise data transmissions
+	DataDropped     uint64        // packets dropped (no route, TTL, queue)
+	TotalLatency    time.Duration // sum of end-to-end latencies of delivered packets
+
+	// Control plane, indexed by ControlKind.
+	ctrlTransmitted [numKinds]uint64
+	ctrlInitiated   [numKinds]uint64
+
+	// RREPUsable counts hop-wise usable RREP receptions: a RREP counts once
+	// at every node along its path that can use it to install or improve a
+	// route (the paper's "RREP Recv" numerator).
+	RREPUsable uint64
+
+	// Latency distribution of delivered packets (p50/p95/p99 reporting).
+	Latency LatencyHistogram
+
+	// Path-length accounting for delivered packets: HopsSum/DataDelivered
+	// is the mean path length, comparable against the topology oracle's
+	// shortest paths for a stretch measure.
+	HopsSum uint64
+
+	// Destination sequence number samples (Fig. 7). Protocols that use
+	// destination sequence numbers record the counter value of every
+	// routing-table entry at the end of the run.
+	SeqnoSum   float64
+	SeqnoCount uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// CountControlTransmit records one hop-wise control transmission.
+func (c *Collector) CountControlTransmit(k ControlKind) {
+	c.ctrlTransmitted[kindIndex(k)]++
+}
+
+// CountControlInitiate records the first transmission of a control packet.
+func (c *Collector) CountControlInitiate(k ControlKind) {
+	c.ctrlInitiated[kindIndex(k)]++
+}
+
+// ObserveSeqno records one destination sequence-number sample.
+func (c *Collector) ObserveSeqno(v float64) {
+	c.SeqnoSum += v
+	c.SeqnoCount++
+}
+
+// ControlTransmitted returns the hop-wise transmission count for a kind.
+func (c *Collector) ControlTransmitted(k ControlKind) uint64 {
+	return c.ctrlTransmitted[kindIndex(k)]
+}
+
+// ControlInitiated returns the initiation count for a kind.
+func (c *Collector) ControlInitiated(k ControlKind) uint64 {
+	return c.ctrlInitiated[kindIndex(k)]
+}
+
+// TotalControlTransmitted sums hop-wise transmissions over all kinds.
+func (c *Collector) TotalControlTransmitted() uint64 {
+	var sum uint64
+	for _, v := range c.ctrlTransmitted {
+		sum += v
+	}
+	return sum
+}
+
+// DeliveryRatio is the fraction of initiated CBR packets delivered.
+func (c *Collector) DeliveryRatio() float64 {
+	if c.DataInitiated == 0 {
+		return 0
+	}
+	return float64(c.DataDelivered) / float64(c.DataInitiated)
+}
+
+// NetworkLoad is total control packets transmitted per received data
+// packet (the paper's "network load").
+func (c *Collector) NetworkLoad() float64 {
+	if c.DataDelivered == 0 {
+		return float64(c.TotalControlTransmitted())
+	}
+	return float64(c.TotalControlTransmitted()) / float64(c.DataDelivered)
+}
+
+// RREQLoad is RREQs transmitted per received data packet.
+func (c *Collector) RREQLoad() float64 {
+	if c.DataDelivered == 0 {
+		return float64(c.ControlTransmitted(RREQ))
+	}
+	return float64(c.ControlTransmitted(RREQ)) / float64(c.DataDelivered)
+}
+
+// MeanLatency is the mean end-to-end latency of delivered data packets.
+func (c *Collector) MeanLatency() time.Duration {
+	if c.DataDelivered == 0 {
+		return 0
+	}
+	return c.TotalLatency / time.Duration(c.DataDelivered)
+}
+
+// RREPInitPerRREQ is RREPs initiated per RREQ initiated ("RREP Init").
+func (c *Collector) RREPInitPerRREQ() float64 {
+	if c.ControlInitiated(RREQ) == 0 {
+		return 0
+	}
+	return float64(c.ControlInitiated(RREP)) / float64(c.ControlInitiated(RREQ))
+}
+
+// RREPRecvPerRREQ is hop-wise usable RREPs received per RREQ initiated
+// ("RREP Recv").
+func (c *Collector) RREPRecvPerRREQ() float64 {
+	if c.ControlInitiated(RREQ) == 0 {
+		return 0
+	}
+	return float64(c.RREPUsable) / float64(c.ControlInitiated(RREQ))
+}
+
+// MeanHops is the mean hop count of delivered data packets.
+func (c *Collector) MeanHops() float64 {
+	if c.DataDelivered == 0 {
+		return 0
+	}
+	return float64(c.HopsSum) / float64(c.DataDelivered)
+}
+
+// MeanSeqno is the mean recorded destination sequence number (Fig. 7).
+func (c *Collector) MeanSeqno() float64 {
+	if c.SeqnoCount == 0 {
+		return 0
+	}
+	return c.SeqnoSum / float64(c.SeqnoCount)
+}
+
+func kindIndex(k ControlKind) int {
+	if k <= 0 || k >= numKinds {
+		return int(OtherControl)
+	}
+	return int(k)
+}

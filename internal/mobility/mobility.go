@@ -1,0 +1,231 @@
+// Package mobility provides node mobility models for the simulator.
+//
+// Models are analytic: a node's position is a closed-form function of
+// virtual time, so mobility adds no events to the simulation. The random
+// waypoint model matches the evaluation setup of the LDR paper (nodes pick
+// a uniform destination, move at a uniform speed in [MinSpeed, MaxSpeed],
+// then pause for a fixed pause time).
+package mobility
+
+import (
+	"math"
+	"time"
+
+	"github.com/manetlab/ldr/internal/rng"
+)
+
+// Point is a position on the terrain, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points in meters.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Model yields node positions over time. Queries must be issued with
+// non-decreasing times per node; the simulator guarantees this because all
+// queries happen at the current virtual time.
+type Model interface {
+	// Position returns the position of node id at virtual time at.
+	Position(id int, at time.Duration) Point
+	// NumNodes returns the number of nodes the model covers.
+	NumNodes() int
+}
+
+// Terrain is the rectangular simulation area, in meters.
+type Terrain struct {
+	Width, Height float64
+}
+
+// Contains reports whether p lies within the terrain.
+func (t Terrain) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= t.Width && p.Y >= 0 && p.Y <= t.Height
+}
+
+// WaypointConfig parameterizes the random waypoint model.
+type WaypointConfig struct {
+	Terrain  Terrain
+	MinSpeed float64       // m/s, must be > 0 to avoid the stuck-node pathology
+	MaxSpeed float64       // m/s
+	Pause    time.Duration // fixed pause at each waypoint
+}
+
+// Waypoint implements the random waypoint model.
+type Waypoint struct {
+	cfg   WaypointConfig
+	nodes []waypointState
+	rng   *rng.Source
+}
+
+type waypointState struct {
+	from, to   Point
+	segStart   time.Duration // movement start
+	segEnd     time.Duration // arrival at `to`
+	pauseUntil time.Duration // end of pause following arrival
+}
+
+var _ Model = (*Waypoint)(nil)
+
+// NewWaypoint places n nodes uniformly on the terrain. Every node begins
+// with an initial pause (so a pause time equal to the simulation length
+// yields a static network, as in the paper's 900 s pause-time data points).
+func NewWaypoint(n int, cfg WaypointConfig, src *rng.Source) *Waypoint {
+	if cfg.MinSpeed <= 0 {
+		cfg.MinSpeed = 1
+	}
+	if cfg.MaxSpeed < cfg.MinSpeed {
+		cfg.MaxSpeed = cfg.MinSpeed
+	}
+	w := &Waypoint{
+		cfg:   cfg,
+		nodes: make([]waypointState, n),
+		rng:   src,
+	}
+	for i := range w.nodes {
+		p := w.randomPoint()
+		w.nodes[i] = waypointState{
+			from:       p,
+			to:         p,
+			segStart:   0,
+			segEnd:     0,
+			pauseUntil: cfg.Pause,
+		}
+	}
+	return w
+}
+
+// NumNodes implements Model.
+func (w *Waypoint) NumNodes() int { return len(w.nodes) }
+
+// Position implements Model.
+func (w *Waypoint) Position(id int, at time.Duration) Point {
+	st := &w.nodes[id]
+	for at > st.pauseUntil {
+		w.nextLeg(st)
+	}
+	if at >= st.segEnd {
+		return st.to // paused at the waypoint
+	}
+	if st.segEnd == st.segStart {
+		return st.to
+	}
+	frac := float64(at-st.segStart) / float64(st.segEnd-st.segStart)
+	return Point{
+		X: st.from.X + (st.to.X-st.from.X)*frac,
+		Y: st.from.Y + (st.to.Y-st.from.Y)*frac,
+	}
+}
+
+func (w *Waypoint) nextLeg(st *waypointState) {
+	st.from = st.to
+	st.to = w.randomPoint()
+	speed := w.rng.Range(w.cfg.MinSpeed, w.cfg.MaxSpeed)
+	dist := st.from.Dist(st.to)
+	st.segStart = st.pauseUntil
+	st.segEnd = st.segStart + time.Duration(dist/speed*float64(time.Second))
+	st.pauseUntil = st.segEnd + w.cfg.Pause
+}
+
+func (w *Waypoint) randomPoint() Point {
+	return Point{
+		X: w.rng.Float64() * w.cfg.Terrain.Width,
+		Y: w.rng.Float64() * w.cfg.Terrain.Height,
+	}
+}
+
+// Static is a mobility model in which nodes never move.
+type Static struct {
+	pts []Point
+}
+
+var _ Model = (*Static)(nil)
+
+// NewStatic pins nodes at the given positions.
+func NewStatic(pts []Point) *Static {
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	return &Static{pts: cp}
+}
+
+// NumNodes implements Model.
+func (s *Static) NumNodes() int { return len(s.pts) }
+
+// Position implements Model.
+func (s *Static) Position(id int, _ time.Duration) Point { return s.pts[id] }
+
+// Line places n static nodes on a horizontal line with the given spacing,
+// a convenient topology for protocol unit tests (node i can only hear
+// nodes i-1 and i+1 when spacing is just under the radio range).
+func Line(n int, spacing float64) *Static {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: float64(i) * spacing, Y: 0}
+	}
+	return NewStatic(pts)
+}
+
+// Grid places n static nodes row-major on a grid with the given spacing.
+func Grid(n, cols int, spacing float64) *Static {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: float64(i%cols) * spacing,
+			Y: float64(i/cols) * spacing,
+		}
+	}
+	return NewStatic(pts)
+}
+
+// Script is a mobility model driven by per-node piecewise-linear
+// trajectories, useful for reproducing hand-constructed scenarios such as
+// the paper's Figure 1 example and for partition/heal demonstrations.
+type Script struct {
+	tracks [][]ScriptLeg
+}
+
+// ScriptLeg is one segment of a scripted trajectory: the node is at Pos at
+// time At, and moves linearly toward the next leg's Pos thereafter.
+type ScriptLeg struct {
+	At  time.Duration
+	Pos Point
+}
+
+var _ Model = (*Script)(nil)
+
+// NewScript builds a scripted model. Each track must be sorted by time and
+// non-empty; the node holds its first position before the first leg and its
+// last position after the final leg.
+func NewScript(tracks [][]ScriptLeg) *Script {
+	return &Script{tracks: tracks}
+}
+
+// NumNodes implements Model.
+func (s *Script) NumNodes() int { return len(s.tracks) }
+
+// Position implements Model.
+func (s *Script) Position(id int, at time.Duration) Point {
+	track := s.tracks[id]
+	if len(track) == 0 {
+		return Point{}
+	}
+	if at <= track[0].At {
+		return track[0].Pos
+	}
+	for i := 1; i < len(track); i++ {
+		if at <= track[i].At {
+			a, b := track[i-1], track[i]
+			if b.At == a.At {
+				return b.Pos
+			}
+			frac := float64(at-a.At) / float64(b.At-a.At)
+			return Point{
+				X: a.Pos.X + (b.Pos.X-a.Pos.X)*frac,
+				Y: a.Pos.Y + (b.Pos.Y-a.Pos.Y)*frac,
+			}
+		}
+	}
+	return track[len(track)-1].Pos
+}

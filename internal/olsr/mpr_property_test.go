@@ -1,0 +1,61 @@
+package olsr_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// TestMPRSetAlwaysCoversTwoHopNeighborhood: for random one- and two-hop
+// neighborhoods, the greedy MPR selection must cover every strict
+// two-hop node (RFC 3626 §8.3.1's correctness requirement; minimality is
+// heuristic, coverage is not).
+func TestMPRSetAlwaysCoversTwoHopNeighborhood(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		nw, p := isolated(seed)
+		nw.Start()
+
+		// Random neighborhood: up to 6 neighbors (ids 1..6), each with a
+		// random set of two-hop nodes (ids 10..19).
+		reach := make(map[routing.NodeID][]routing.NodeID)
+		nNbrs := 1 + r.Intn(6)
+		nw.Sim.Schedule(0, func() {
+			for nb := routing.NodeID(1); int(nb) <= nNbrs; nb++ {
+				sym := []routing.NodeID{0}
+				for th := 10; th < 20; th++ {
+					if r.Float64() < 0.3 {
+						sym = append(sym, routing.NodeID(th))
+						reach[nb] = append(reach[nb], routing.NodeID(th))
+					}
+				}
+				p.HandleControl(nb, hello(nb, sym...))
+			}
+		})
+		// Let one hello cycle elapse so MPRs are recomputed.
+		nw.Sim.Run(2500 * time.Millisecond)
+
+		covered := make(map[routing.NodeID]bool)
+		for _, m := range p.MPRs() {
+			for _, th := range reach[m] {
+				covered[th] = true
+			}
+		}
+		for _, ths := range reach {
+			for _, th := range ths {
+				if !covered[th] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(15))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package olsr
+
+import (
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/wire"
+)
+
+// Marshal encodes the HELLO to its wire format.
+func (h Hello) Marshal() []byte {
+	enc := wire.NewEncoder(wire.TypeOLSRHello).
+		Node(int(h.Origin)).
+		U16(uint16(len(h.Neighbors)))
+	for _, n := range h.Neighbors {
+		enc.Node(int(n.ID)).U8(uint8(n.Code))
+	}
+	return enc.Bytes()
+}
+
+// UnmarshalHello decodes an OLSR HELLO.
+func UnmarshalHello(b []byte) (Hello, error) {
+	d, err := wire.NewDecoder(b, wire.TypeOLSRHello)
+	if err != nil {
+		return Hello{}, err
+	}
+	var h Hello
+	h.Origin = routing.NodeID(d.Node())
+	n := int(d.U16())
+	for i := 0; i < n; i++ {
+		h.Neighbors = append(h.Neighbors, HelloNeighbor{
+			ID:   routing.NodeID(d.Node()),
+			Code: LinkCode(d.U8()),
+		})
+	}
+	return h, d.Err()
+}
+
+// Marshal encodes the TC to its wire format.
+func (t TC) Marshal() []byte {
+	enc := wire.NewEncoder(wire.TypeOLSRTC).
+		Node(int(t.Origin)).
+		U16(t.Seq).
+		U16(t.ANSN).
+		U8(uint8(max(min(t.TTL, 255), 0))).
+		U16(uint16(len(t.Selectors)))
+	for _, s := range t.Selectors {
+		enc.Node(int(s))
+	}
+	return enc.Bytes()
+}
+
+// UnmarshalTC decodes an OLSR TC.
+func UnmarshalTC(b []byte) (TC, error) {
+	d, err := wire.NewDecoder(b, wire.TypeOLSRTC)
+	if err != nil {
+		return TC{}, err
+	}
+	var t TC
+	t.Origin = routing.NodeID(d.Node())
+	t.Seq = d.U16()
+	t.ANSN = d.U16()
+	t.TTL = int(d.U8())
+	n := int(d.U16())
+	for i := 0; i < n; i++ {
+		t.Selectors = append(t.Selectors, routing.NodeID(d.Node()))
+	}
+	return t, d.Err()
+}

@@ -1,0 +1,59 @@
+package olsr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{
+		Origin: 4,
+		Neighbors: []HelloNeighbor{
+			{ID: 1, Code: LinkSym},
+			{ID: 2, Code: LinkMPR},
+			{ID: 3, Code: LinkAsym},
+		},
+	}
+	got, err := UnmarshalHello(h.Marshal())
+	if err != nil || !reflect.DeepEqual(got, h) {
+		t.Fatalf("round trip: %+v != %+v (%v)", got, h, err)
+	}
+}
+
+func TestEmptyHelloRoundTrip(t *testing.T) {
+	h := Hello{Origin: 0}
+	got, err := UnmarshalHello(h.Marshal())
+	if err != nil || got.Origin != 0 || len(got.Neighbors) != 0 {
+		t.Fatalf("empty hello: %+v (%v)", got, err)
+	}
+}
+
+func TestTCRoundTrip(t *testing.T) {
+	f := func(origin int32, seq, ansn uint16, ttl uint8, raw []int32) bool {
+		tc := TC{Origin: routing.NodeID(origin), Seq: seq, ANSN: ansn, TTL: int(ttl)}
+		for _, v := range raw {
+			tc.Selectors = append(tc.Selectors, routing.NodeID(v))
+		}
+		got, err := UnmarshalTC(tc.Marshal())
+		return err == nil && reflect.DeepEqual(got, tc)
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizesMatchEncodings(t *testing.T) {
+	h := Hello{Origin: 1, Neighbors: make([]HelloNeighbor, 4)}
+	if h.Size() != len(h.Marshal()) {
+		t.Fatal("Hello.Size diverges from encoding")
+	}
+	tc := TC{Selectors: make([]routing.NodeID, 3), TTL: 10}
+	if tc.Size() != len(tc.Marshal()) {
+		t.Fatal("TC.Size diverges from encoding")
+	}
+}

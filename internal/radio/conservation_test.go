@@ -1,0 +1,78 @@
+package radio_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// TestDeliveryConservation: across random topologies and random
+// transmission schedules, every frame is decoded at most once per
+// receiver, never by the sender, and never beyond decodable range.
+func TestDeliveryConservation(t *testing.T) {
+	f := func(seed int64, nTx uint8) bool {
+		r := rng.New(seed)
+		const n = 8
+		pts := make([]mobility.Point, n)
+		for i := range pts {
+			pts[i] = mobility.Point{X: r.Float64() * 1000, Y: r.Float64() * 400}
+		}
+		s := sim.New()
+		m := radio.New(s, mobility.NewStatic(pts), radio.DefaultConfig())
+
+		type delivery struct {
+			rx, from int
+			payload  any
+		}
+		var got []delivery
+		for i := 0; i < n; i++ {
+			i := i
+			m.Attach(i, func(from int, payload any) {
+				got = append(got, delivery{rx: i, from: from, payload: payload})
+			})
+		}
+
+		type tx struct {
+			src     int
+			payload int
+		}
+		var sent []tx
+		for k := 0; k < int(nTx%20)+1; k++ {
+			src := r.Intn(n)
+			payload := k
+			sent = append(sent, tx{src: src, payload: payload})
+			at := time.Duration(r.Intn(20)) * 100 * time.Microsecond
+			s.At(at, func() { m.Transmit(src, 1000, payload) })
+		}
+		s.RunAll()
+
+		// Each (receiver, payload) pair at most once; receivers in range.
+		seen := make(map[[2]int]bool)
+		for _, d := range got {
+			p := d.payload.(int)
+			key := [2]int{d.rx, p}
+			if seen[key] {
+				return false // duplicate decode
+			}
+			seen[key] = true
+			src := sent[p].src
+			if d.rx == src || d.from != src {
+				return false
+			}
+			if pts[src].Dist(pts[d.rx]) > 275 {
+				return false // decoded beyond range
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(14))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

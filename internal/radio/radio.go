@@ -1,0 +1,237 @@
+// Package radio models the shared wireless medium.
+//
+// The propagation model is a unit disk: a frame transmitted by a node is
+// decodable by every node within Range meters and causes interference at
+// every node within CSRange meters (carrier-sense/interference range). Two
+// signals overlapping in time at a receiver corrupt each other, as does
+// receiving while transmitting. This reproduces the contention behaviour
+// that drives the relative protocol performance in the LDR paper without
+// modelling an explicit PHY.
+//
+// The paper's simulations use "the MAC layer with a 275 m transmission
+// range" at 2 Mb/s; those are the defaults here.
+package radio
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// Config parameterizes the medium.
+type Config struct {
+	Range     float64       // decodable range, meters
+	CSRange   float64       // carrier-sense/interference range, meters
+	BitRate   float64       // channel rate, bits per second
+	PropDelay time.Duration // fixed propagation delay
+}
+
+// DefaultConfig matches the paper's simulation setup: 275 m transmission
+// range, 2 Mb/s channel, interference out to twice the decodable range.
+func DefaultConfig() Config {
+	return Config{
+		Range:     275,
+		CSRange:   550,
+		BitRate:   2e6,
+		PropDelay: time.Microsecond,
+	}
+}
+
+// ReceiverFunc is invoked for every frame successfully decoded at a node.
+// Addressing and ACKing are the MAC's concern; the radio delivers any
+// uncorrupted frame that arrives within decodable range.
+type ReceiverFunc func(from int, payload any)
+
+// Medium is the shared channel connecting every node's radio.
+type Medium struct {
+	sim   *sim.Simulator
+	model mobility.Model
+	cfg   Config
+	nodes []nodeState
+
+	// Transmissions counts frames put on the air, for diagnostics.
+	Transmissions uint64
+	// Corrupted counts per-receiver receptions lost to collisions.
+	Corrupted uint64
+}
+
+type nodeState struct {
+	rx      ReceiverFunc
+	signals int           // overlapping signals currently sensed
+	txUntil time.Duration // end of this node's own transmission
+	active  []*reception  // decodable receptions currently in the air here
+	onIdle  []func()      // one-shot callbacks for channel-idle
+}
+
+type reception struct {
+	from      int
+	payload   any
+	corrupted bool
+}
+
+// New builds a medium over the given mobility model. Positions are sampled
+// from the model at transmission start; a frame's receiver set is fixed at
+// that instant (frames are microseconds long, far below node motion scale).
+func New(s *sim.Simulator, model mobility.Model, cfg Config) *Medium {
+	if cfg.CSRange < cfg.Range {
+		cfg.CSRange = cfg.Range
+	}
+	return &Medium{
+		sim:   s,
+		model: model,
+		cfg:   cfg,
+		nodes: make([]nodeState, model.NumNodes()),
+	}
+}
+
+// Config returns the medium's configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Model exposes the mobility model driving node positions, for analysis
+// tools (e.g. the topology oracle).
+func (m *Medium) Model() mobility.Model { return m.model }
+
+// Attach registers the frame-delivery callback for a node.
+func (m *Medium) Attach(id int, rx ReceiverFunc) {
+	m.nodes[id].rx = rx
+}
+
+// Busy reports whether node id currently senses the channel busy (a signal
+// in the air within carrier-sense range, or its own transmission).
+func (m *Medium) Busy(id int) bool {
+	st := &m.nodes[id]
+	return st.signals > 0 || st.txUntil > m.sim.Now()
+}
+
+// NotifyIdle registers a one-shot callback invoked the next moment node
+// id's channel becomes idle. If the channel is already idle the callback
+// runs in a zero-delay event.
+func (m *Medium) NotifyIdle(id int, fn func()) {
+	if !m.Busy(id) {
+		m.sim.Schedule(0, fn)
+		return
+	}
+	st := &m.nodes[id]
+	st.onIdle = append(st.onIdle, fn)
+}
+
+// AirTime returns how long a frame of the given size occupies the channel.
+func (m *Medium) AirTime(bits int) time.Duration {
+	return time.Duration(float64(bits) / m.cfg.BitRate * float64(time.Second))
+}
+
+// Transmit puts a frame on the air from node src and returns its airtime.
+// The MAC is responsible for carrier sensing before calling Transmit; the
+// radio faithfully transmits (and collides) regardless.
+func (m *Medium) Transmit(src, bits int, payload any) time.Duration {
+	now := m.sim.Now()
+	air := m.AirTime(bits)
+	m.Transmissions++
+
+	sender := &m.nodes[src]
+	sender.txUntil = now + air
+	// Receiving while transmitting corrupts anything arriving here.
+	for _, rc := range sender.active {
+		if !rc.corrupted {
+			rc.corrupted = true
+			m.Corrupted++
+		}
+	}
+	m.sim.Schedule(air, func() { m.checkIdle(src) })
+
+	srcPos := m.model.Position(src, now)
+	for i := range m.nodes {
+		if i == src || m.nodes[i].rx == nil {
+			continue
+		}
+		d := srcPos.Dist(m.model.Position(i, now))
+		if d > m.cfg.CSRange {
+			continue
+		}
+		decodable := d <= m.cfg.Range
+		dst := i
+		rc := &reception{from: src, payload: payload}
+		m.sim.Schedule(m.cfg.PropDelay, func() { m.signalStart(dst, decodable, rc) })
+		m.sim.Schedule(m.cfg.PropDelay+air, func() { m.signalEnd(dst, decodable, rc) })
+	}
+	return air
+}
+
+func (m *Medium) signalStart(id int, decodable bool, rc *reception) {
+	st := &m.nodes[id]
+	st.signals++
+	if decodable {
+		st.active = append(st.active, rc)
+	}
+	if st.signals > 1 {
+		// Collision: every decodable reception currently in the air at this
+		// node is lost, including the one that just began.
+		for _, r := range st.active {
+			if !r.corrupted {
+				r.corrupted = true
+				m.Corrupted++
+			}
+		}
+	}
+	if st.txUntil > m.sim.Now() && decodable && !rc.corrupted {
+		rc.corrupted = true
+		m.Corrupted++
+	}
+}
+
+func (m *Medium) signalEnd(id int, decodable bool, rc *reception) {
+	st := &m.nodes[id]
+	st.signals--
+	if decodable {
+		for i, r := range st.active {
+			if r == rc {
+				st.active = append(st.active[:i], st.active[i+1:]...)
+				break
+			}
+		}
+		if !rc.corrupted && st.txUntil <= m.sim.Now() && st.rx != nil {
+			st.rx(rc.from, rc.payload)
+		}
+	}
+	m.checkIdle(id)
+}
+
+func (m *Medium) checkIdle(id int) {
+	st := &m.nodes[id]
+	if st.signals > 0 || st.txUntil > m.sim.Now() {
+		return
+	}
+	if len(st.onIdle) == 0 {
+		return
+	}
+	cbs := st.onIdle
+	st.onIdle = nil
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// InRange reports whether two nodes are currently within decodable range,
+// a helper for connectivity analysis in tests and the loop checker.
+func (m *Medium) InRange(a, b int) bool {
+	now := m.sim.Now()
+	return m.model.Position(a, now).Dist(m.model.Position(b, now)) <= m.cfg.Range
+}
+
+// Neighbors returns the nodes currently within decodable range of id.
+// It is an observability helper for analysis tools, not a protocol input.
+func (m *Medium) Neighbors(id int) []int {
+	now := m.sim.Now()
+	p := m.model.Position(id, now)
+	var out []int
+	for i := range m.nodes {
+		if i == id {
+			continue
+		}
+		if p.Dist(m.model.Position(i, now)) <= m.cfg.Range {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package rng_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/manetlab/ldr/internal/rng"
+)
+
+func TestSameSeedSameStream(t *testing.T) {
+	a, b := rng.New(42), rng.New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := rng.New(1), rng.New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestSplitIsStableRegardlessOfParentDraws(t *testing.T) {
+	a := rng.New(7)
+	s1 := a.Split("mac")
+	first := s1.Uint64()
+
+	b := rng.New(7)
+	b.Uint64() // advance the parent before splitting
+	s2 := b.Split("mac")
+	if got := s2.Uint64(); got != first {
+		t.Fatalf("split stream depends on parent draw position: %d vs %d", got, first)
+	}
+}
+
+func TestSplitNamesAreIndependent(t *testing.T) {
+	a := rng.New(7)
+	if a.Split("mac").Uint64() == a.Split("mobility").Uint64() {
+		t.Fatal("differently named splits produced the same first draw")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := rng.New(3)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	rng.New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := rng.New(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %.4f, want ≈ 0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := rng.New(9)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("ExpFloat64 mean = %.4f, want ≈ 1", mean)
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	r := rng.New(11)
+	f := func(lo, span uint16) bool {
+		l := float64(lo)
+		h := l + float64(span) + 1
+		v := r.Range(l, h)
+		return v >= l && v < h
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := rng.New(13)
+	f := func(n uint8) bool {
+		p := r.Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReseedResets(t *testing.T) {
+	r := rng.New(21)
+	first := r.Uint64()
+	r.Uint64()
+	r.Reseed(21)
+	if got := r.Uint64(); got != first {
+		t.Fatalf("Reseed did not reset the stream: %d vs %d", got, first)
+	}
+}

@@ -1,0 +1,313 @@
+// Package routing provides the network-layer substrate shared by every
+// routing protocol in this repository: node identifiers, data packets,
+// control-message plumbing over the MAC, and the Protocol interface the
+// LDR, AODV, DSR, and OLSR implementations plug into.
+package routing
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/manetlab/ldr/internal/mac"
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// NodeID identifies a node; IDs are dense indices starting at zero.
+type NodeID int
+
+// BroadcastID addresses all one-hop neighbors.
+const BroadcastID NodeID = NodeID(mac.BroadcastAddr)
+
+// DefaultTTL is the initial IP-style hop limit on data packets.
+const DefaultTTL = 64
+
+// DataPacket is a network-layer data packet.
+type DataPacket struct {
+	Src, Dst NodeID
+	ID       uint64        // unique per origin node
+	Bytes    int           // payload size
+	TTL      int           // remaining hop budget
+	SentAt   time.Duration // origination time, for latency accounting
+
+	// Source-routing fields, used by DSR only.
+	SourceRoute []NodeID // full path including Src and Dst
+	SRIndex     int      // index of the current hop in SourceRoute
+	Salvaged    int      // number of times the packet has been salvaged
+}
+
+// Message is a protocol control message. Size is the on-air size in bytes
+// and Kind classifies the message for load accounting.
+type Message interface {
+	Kind() metrics.ControlKind
+	Size() int
+}
+
+// Protocol is the interface every routing protocol implements. All methods
+// run on the simulator goroutine.
+type Protocol interface {
+	// Start installs timers and begins protocol operation.
+	Start()
+	// HandleControl processes a received control message.
+	HandleControl(from NodeID, msg Message)
+	// HandleData processes a received data packet (addressed to this node
+	// at the link layer; may be destined here or need forwarding).
+	HandleData(from NodeID, pkt *DataPacket)
+	// Originate injects a locally generated data packet.
+	Originate(pkt *DataPacket)
+	// Stop cancels timers; the protocol must not schedule further events.
+	Stop()
+}
+
+// RouteEntry is a normalized view of one routing-table row, used by the
+// loop checker and debugging tools. SeqNo and FD are zero for protocols
+// without those concepts.
+type RouteEntry struct {
+	Dst    NodeID
+	Next   NodeID
+	Metric int
+	SeqNo  uint64
+	FD     int
+	Valid  bool
+}
+
+// TableSnapshotter is implemented by protocols whose routing state can be
+// inspected for invariant checking.
+type TableSnapshotter interface {
+	SnapshotTable() []RouteEntry
+}
+
+// Node is the network layer of one simulated node. It owns the MAC, routes
+// control and data packets to the protocol, and feeds the metrics
+// collector.
+type Node struct {
+	id     NodeID
+	sim    *sim.Simulator
+	mac    *mac.MAC
+	col    *metrics.Collector
+	rng    *rng.Source
+	proto  Protocol
+	tracer Tracer
+
+	nextPktID uint64
+}
+
+// netFrame is the payload the network layer puts in MAC frames.
+type netFrame struct {
+	data *DataPacket
+	msg  Message
+}
+
+// NewNode wires a node's network layer to a fresh MAC on the medium.
+func NewNode(id NodeID, s *sim.Simulator, medium *radio.Medium, macCfg mac.Config, col *metrics.Collector, src *rng.Source) *Node {
+	n := &Node{
+		id:  id,
+		sim: s,
+		col: col,
+		rng: src,
+	}
+	n.mac = mac.New(int(id), s, medium, macCfg, src.Split("mac"), n.deliverFrame)
+	return n
+}
+
+// SetProtocol binds the routing protocol. Must be called before Start.
+func (n *Node) SetProtocol(p Protocol) { n.proto = p }
+
+// Protocol returns the bound protocol.
+func (n *Node) Protocol() Protocol { return n.proto }
+
+// ID returns the node identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Now returns the current virtual time.
+func (n *Node) Now() time.Duration { return n.sim.Now() }
+
+// Schedule runs fn after delay of virtual time.
+func (n *Node) Schedule(delay time.Duration, fn func()) *sim.Event {
+	return n.sim.Schedule(delay, fn)
+}
+
+// RNG returns this node's random stream.
+func (n *Node) RNG() *rng.Source { return n.rng }
+
+// Metrics returns the run-wide collector.
+func (n *Node) Metrics() *metrics.Collector { return n.col }
+
+// MAC exposes the node's MAC for statistics.
+func (n *Node) MAC() *mac.MAC { return n.mac }
+
+// PromiscuousFunc receives overheard traffic: frames addressed to other
+// nodes that this node's radio decoded anyway. Exactly one of data/msg is
+// non-nil per call.
+type PromiscuousFunc func(from NodeID, data *DataPacket, msg Message)
+
+// SetPromiscuous installs an overhearing tap (nil disables). The overheard
+// packet is this node's own copy; mutating it is safe.
+func (n *Node) SetPromiscuous(fn PromiscuousFunc) {
+	if fn == nil {
+		n.mac.SetPromiscuous(nil)
+		return
+	}
+	n.mac.SetPromiscuous(func(from int, f *mac.Frame) {
+		nf, ok := f.Payload.(*netFrame)
+		if !ok {
+			return
+		}
+		switch {
+		case nf.msg != nil:
+			fn(NodeID(from), nil, nf.msg)
+		case nf.data != nil:
+			cp := *nf.data
+			if len(nf.data.SourceRoute) > 0 {
+				cp.SourceRoute = append([]NodeID(nil), nf.data.SourceRoute...)
+			}
+			fn(NodeID(from), &cp, nil)
+		}
+	})
+}
+
+// SendControl transmits a control message. to may be BroadcastID. The
+// message is counted as one hop-wise control transmission; callers count
+// initiations themselves via the collector. onFail, which may be nil, is
+// invoked if a unicast transmission exhausts its MAC retries.
+func (n *Node) SendControl(to NodeID, msg Message, onFail func()) {
+	n.col.CountControlTransmit(msg.Kind())
+	n.mac.Send(&mac.Frame{
+		To:      int(to),
+		Bytes:   msg.Size(),
+		Payload: &netFrame{msg: msg},
+		OnFail:  onFail,
+	})
+}
+
+// SendData transmits a data packet to the next hop. onFail, which may be
+// nil, is invoked when the MAC gives up on the unicast; onSent when the
+// frame is acknowledged.
+func (n *Node) SendData(next NodeID, pkt *DataPacket, onSent, onFail func()) {
+	n.col.DataTransmitted++
+	n.trace(TraceForward, pkt, next)
+	n.mac.Send(&mac.Frame{
+		To:      int(next),
+		Bytes:   pkt.Bytes + dataHeaderBytes(pkt),
+		Payload: &netFrame{data: pkt},
+		OnSent:  onSent,
+		OnFail:  onFail,
+	})
+}
+
+// OriginateData creates a data packet at this node and hands it to the
+// protocol. It is the entry point used by the traffic generator.
+func (n *Node) OriginateData(dst NodeID, bytes int) {
+	n.nextPktID++
+	pkt := &DataPacket{
+		Src:    n.id,
+		Dst:    dst,
+		ID:     n.nextPktID,
+		Bytes:  bytes,
+		TTL:    DefaultTTL,
+		SentAt: n.sim.Now(),
+	}
+	n.col.DataInitiated++
+	n.trace(TraceOriginate, pkt, BroadcastID)
+	n.proto.Originate(pkt)
+}
+
+// DeliverLocal records the successful end-to-end delivery of a packet
+// destined to this node.
+func (n *Node) DeliverLocal(pkt *DataPacket) {
+	n.col.DataDelivered++
+	lat := n.sim.Now() - pkt.SentAt
+	n.col.TotalLatency += lat
+	n.col.Latency.Observe(lat)
+	if hops := DefaultTTL - pkt.TTL + 1; hops > 0 {
+		n.col.HopsSum += uint64(hops)
+	}
+	n.trace(TraceDeliver, pkt, n.id)
+}
+
+// DropData records a data packet lost at this node (no route, TTL expiry,
+// queue overflow, or link failure with no recovery).
+func (n *Node) DropData(pkt *DataPacket) {
+	n.col.DataDropped++
+	n.trace(TraceDrop, pkt, BroadcastID)
+}
+
+func (n *Node) deliverFrame(from int, f *mac.Frame) {
+	nf, ok := f.Payload.(*netFrame)
+	if !ok || n.proto == nil {
+		return
+	}
+	switch {
+	case nf.msg != nil:
+		n.proto.HandleControl(NodeID(from), nf.msg)
+	case nf.data != nil:
+		// Hand the protocol its own copy: the same *DataPacket pointer is
+		// delivered to every broadcast receiver and mutating shared state
+		// (TTL, source-route index) would corrupt other receivers.
+		cp := *nf.data
+		if len(nf.data.SourceRoute) > 0 {
+			cp.SourceRoute = append([]NodeID(nil), nf.data.SourceRoute...)
+		}
+		n.proto.HandleData(NodeID(from), &cp)
+	}
+}
+
+// dataHeaderBytes is the network-layer header added to data payloads: a
+// 20-byte IP-like header, plus the DSR source-route option when present.
+func dataHeaderBytes(pkt *DataPacket) int {
+	h := 20
+	if len(pkt.SourceRoute) > 0 {
+		h += 4 + 4*len(pkt.SourceRoute)
+	}
+	return h
+}
+
+// Network bundles a complete simulated network: engine, medium, and nodes.
+type Network struct {
+	Sim       *sim.Simulator
+	Medium    *radio.Medium
+	Nodes     []*Node
+	Collector *metrics.Collector
+}
+
+// ProtocolFactory builds a protocol instance bound to a node.
+type ProtocolFactory func(n *Node) Protocol
+
+// NewNetwork creates n nodes over the given mobility model and binds a
+// protocol instance to each. Protocols are created but not started; call
+// Start to begin.
+func NewNetwork(numNodes int, model mobility.Model, radioCfg radio.Config, macCfg mac.Config, seed int64, factory ProtocolFactory) *Network {
+	s := sim.New()
+	root := rng.New(seed)
+	col := metrics.NewCollector()
+	medium := radio.New(s, model, radioCfg)
+	nw := &Network{
+		Sim:       s,
+		Medium:    medium,
+		Nodes:     make([]*Node, numNodes),
+		Collector: col,
+	}
+	for i := 0; i < numNodes; i++ {
+		node := NewNode(NodeID(i), s, medium, macCfg, col, root.Split("node"+strconv.Itoa(i)))
+		node.SetProtocol(factory(node))
+		nw.Nodes[i] = node
+	}
+	return nw
+}
+
+// Start starts every node's protocol.
+func (nw *Network) Start() {
+	for _, n := range nw.Nodes {
+		n.proto.Start()
+	}
+}
+
+// Stop stops every node's protocol.
+func (nw *Network) Stop() {
+	for _, n := range nw.Nodes {
+		n.proto.Stop()
+	}
+}

@@ -1,0 +1,104 @@
+package routing_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// relayProtocol forwards data along a fixed chain (node i → node i+1).
+type relayProtocol struct {
+	node *routing.Node
+	last routing.NodeID
+}
+
+func (p *relayProtocol) Start()                                        {}
+func (p *relayProtocol) Stop()                                         {}
+func (p *relayProtocol) HandleControl(routing.NodeID, routing.Message) {}
+func (p *relayProtocol) Originate(pkt *routing.DataPacket)             { p.forward(pkt) }
+func (p *relayProtocol) HandleData(_ routing.NodeID, pkt *routing.DataPacket) {
+	if pkt.Dst == p.node.ID() {
+		p.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.TTL--
+	p.forward(pkt)
+}
+func (p *relayProtocol) forward(pkt *routing.DataPacket) {
+	if p.node.ID() == p.last {
+		p.node.DropData(pkt)
+		return
+	}
+	p.node.SendData(p.node.ID()+1, pkt, nil, nil)
+}
+
+func TestRecorderReconstructsPacketPath(t *testing.T) {
+	nw, _ := buildChainOfRelays(4)
+	rec := routing.NewRecorder(64)
+	nw.SetTracer(rec)
+	nw.Start()
+	nw.Sim.Schedule(0, func() { nw.Nodes[0].OriginateData(3, 100) })
+	nw.Sim.RunAll()
+
+	path := rec.PacketPath(0, 1)
+	want := []routing.NodeID{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+
+	// The lifecycle must be originate → forwards → deliver.
+	evs := rec.Events()
+	if evs[0].Kind != routing.TraceOriginate {
+		t.Fatalf("first event = %v", evs[0].Kind)
+	}
+	if last := evs[len(evs)-1]; last.Kind != routing.TraceDeliver || last.Node != 3 {
+		t.Fatalf("last event = %+v", last)
+	}
+}
+
+func TestRecorderBoundedEviction(t *testing.T) {
+	rec := routing.NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		rec.Trace(routing.TraceEvent{At: time.Duration(i), ID: uint64(i)})
+	}
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if evs[0].ID != 7 || evs[2].ID != 9 {
+		t.Fatalf("wrong retention window: %+v", evs)
+	}
+	if rec.Evicted() != 7 {
+		t.Fatalf("evicted = %d, want 7", rec.Evicted())
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	kinds := map[routing.TraceEventKind]string{
+		routing.TraceOriginate: "originate",
+		routing.TraceForward:   "forward",
+		routing.TraceDeliver:   "deliver",
+		routing.TraceDrop:      "drop",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func buildChainOfRelays(n int) (*routing.Network, []*relayProtocol) {
+	var protos []*relayProtocol
+	nw := buildWith(n, func(node *routing.Node) routing.Protocol {
+		p := &relayProtocol{node: node, last: routing.NodeID(n - 1)}
+		protos = append(protos, p)
+		return p
+	})
+	return nw, protos
+}

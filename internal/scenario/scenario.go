@@ -1,0 +1,184 @@
+// Package scenario assembles complete simulation runs: terrain, mobility,
+// radio, MAC, protocol, and CBR workload, following §4 of the LDR paper.
+//
+// The two canonical setups are 50 nodes on 1500 m × 300 m and 100 nodes on
+// 2200 m × 600 m, with 10- or 30-flow CBR loads, node speeds of 1–20 m/s,
+// and pause times swept from 0 (constant motion) to the simulation length
+// (static).
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/ldr/internal/aodv"
+	"github.com/manetlab/ldr/internal/core"
+	"github.com/manetlab/ldr/internal/dsr"
+	"github.com/manetlab/ldr/internal/mac"
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/olsr"
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/traffic"
+)
+
+// ProtocolName selects the routing protocol under test.
+type ProtocolName string
+
+// The four protocols compared in the paper.
+const (
+	LDR   ProtocolName = "ldr"
+	AODV  ProtocolName = "aodv"
+	DSR   ProtocolName = "dsr"
+	DSR7  ProtocolName = "dsr7" // QualNet draft-7 variant (Fig. 6)
+	OLSR  ProtocolName = "olsr"
+	OLSRJ ProtocolName = "olsr-nojitter" // ablation: jitter queue disabled
+)
+
+// AllProtocols are the paper's four protocols in presentation order.
+var AllProtocols = []ProtocolName{LDR, AODV, DSR, OLSR}
+
+// Config describes one simulation run.
+type Config struct {
+	Protocol  ProtocolName
+	Nodes     int
+	Terrain   mobility.Terrain
+	Flows     int
+	PauseTime time.Duration
+	MinSpeed  float64 // m/s
+	MaxSpeed  float64 // m/s
+	SimTime   time.Duration
+	Seed      int64
+
+	// RTSCTS enables the MAC's RTS/CTS virtual carrier sensing (off in
+	// the paper's setup; exposed for the MAC-level ablation).
+	RTSCTS bool
+
+	// LDRConfig overrides the LDR configuration when Protocol == LDR
+	// (used by the ablation benchmarks). Nil selects the defaults.
+	LDRConfig *core.Config
+}
+
+// Nodes50 is the paper's 50-node scenario skeleton.
+func Nodes50(proto ProtocolName, flows int, pause time.Duration, seed int64) Config {
+	return Config{
+		Protocol:  proto,
+		Nodes:     50,
+		Terrain:   mobility.Terrain{Width: 1500, Height: 300},
+		Flows:     flows,
+		PauseTime: pause,
+		MinSpeed:  1,
+		MaxSpeed:  20,
+		SimTime:   900 * time.Second,
+		Seed:      seed,
+	}
+}
+
+// Nodes100 is the paper's 100-node scenario skeleton.
+func Nodes100(proto ProtocolName, flows int, pause time.Duration, seed int64) Config {
+	cfg := Nodes50(proto, flows, pause, seed)
+	cfg.Nodes = 100
+	cfg.Terrain = mobility.Terrain{Width: 2200, Height: 600}
+	return cfg
+}
+
+// Result carries a finished run's metrics.
+type Result struct {
+	Config    Config
+	Collector *metrics.Collector
+	Events    uint64 // simulator events executed (cost measure)
+}
+
+// SeqnoReporter is implemented by protocols that track destination
+// sequence numbers (LDR, AODV) for the Fig. 7 measurement.
+type SeqnoReporter interface {
+	ReportSeqnos(*metrics.Collector)
+}
+
+// Build constructs the network and workload without running them, for
+// callers that need mid-run access (invariant checkers, examples).
+func Build(cfg Config) (*routing.Network, *traffic.Generator, error) {
+	factory, err := Factory(cfg.Protocol, cfg.LDRConfig)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := rng.New(cfg.Seed)
+	model := mobility.NewWaypoint(cfg.Nodes, mobility.WaypointConfig{
+		Terrain:  cfg.Terrain,
+		MinSpeed: cfg.MinSpeed,
+		MaxSpeed: cfg.MaxSpeed,
+		Pause:    cfg.PauseTime,
+	}, root.Split("mobility"))
+
+	macCfg := mac.DefaultConfig()
+	macCfg.RTSCTSEnabled = cfg.RTSCTS
+	nw := routing.NewNetwork(cfg.Nodes, model, radio.DefaultConfig(), macCfg, cfg.Seed, factory)
+	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, traffic.DefaultConfig(cfg.Flows, cfg.SimTime), root.Split("traffic"))
+	return nw, gen, nil
+}
+
+// Run executes the scenario to completion and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	nw, gen, err := Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	nw.Start()
+	gen.Start()
+	// Drain for a short tail so in-flight packets settle before metrics
+	// are read (the paper's runs do the same implicitly by stopping flows
+	// before the simulation end).
+	nw.Sim.Run(cfg.SimTime + 2*time.Second)
+	for _, n := range nw.Nodes {
+		if r, ok := n.Protocol().(SeqnoReporter); ok {
+			r.ReportSeqnos(nw.Collector)
+		}
+	}
+	nw.Stop()
+	return Result{Config: cfg, Collector: nw.Collector, Events: nw.Sim.EventsFired()}, nil
+}
+
+// Factory returns the protocol constructor for a name. ldrCfg overrides
+// the LDR configuration and may be nil.
+func Factory(name ProtocolName, ldrCfg *core.Config) (routing.ProtocolFactory, error) {
+	switch name {
+	case LDR:
+		cfg := core.DefaultConfig()
+		if ldrCfg != nil {
+			cfg = *ldrCfg
+		}
+		return func(n *routing.Node) routing.Protocol { return core.New(n, cfg) }, nil
+	case AODV:
+		return func(n *routing.Node) routing.Protocol { return aodv.New(n, aodv.DefaultConfig()) }, nil
+	case DSR:
+		return func(n *routing.Node) routing.Protocol { return dsr.New(n, dsr.DefaultConfig()) }, nil
+	case DSR7:
+		return func(n *routing.Node) routing.Protocol { return dsr.New(n, dsr.Draft7Config()) }, nil
+	case OLSR:
+		return func(n *routing.Node) routing.Protocol { return olsr.New(n, olsr.DefaultConfig()) }, nil
+	case OLSRJ:
+		cfg := olsr.DefaultConfig()
+		cfg.JitterQueue = false
+		return func(n *routing.Node) routing.Protocol { return olsr.New(n, cfg) }, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown protocol %q", name)
+	}
+}
+
+// PauseTimes is the paper's pause-time sweep for a given simulation
+// length: 0 s (constant motion) through the full length (static).
+func PauseTimes(simTime time.Duration) []time.Duration {
+	full := []time.Duration{
+		0, 30 * time.Second, 60 * time.Second, 120 * time.Second,
+		300 * time.Second, 600 * time.Second, 900 * time.Second,
+	}
+	var out []time.Duration
+	for _, p := range full {
+		if p < simTime {
+			out = append(out, p)
+		}
+	}
+	return append(out, simTime)
+}

@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// BenchmarkScheduleAndFire measures raw engine throughput: the cost of
+// scheduling and executing one event, the quantity every simulated frame,
+// backoff, and timer pays.
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := sim.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Microsecond, func() {})
+		s.Step()
+	}
+}
+
+// BenchmarkDeepQueue measures heap behaviour with many pending events.
+func BenchmarkDeepQueue(b *testing.B) {
+	const depth = 4096
+	s := sim.New()
+	for i := 0; i < depth; i++ {
+		var refill func()
+		refill = func() { s.Schedule(time.Duration(i+1)*time.Microsecond, refill) }
+		s.Schedule(time.Duration(i)*time.Microsecond, refill)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkCancel measures event cancellation (route timers are cancelled
+// far more often than they fire).
+func BenchmarkCancel(b *testing.B) {
+	s := sim.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := s.Schedule(time.Hour, func() {})
+		ev.Cancel()
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim implements a deterministic discrete-event simulator.
+//
+// The simulator maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order, which —
+// together with the seeded streams in package rng — makes every run fully
+// reproducible from its scenario seed.
+//
+// The engine is intentionally single-threaded: all protocol, MAC, and radio
+// code runs inside event callbacks on one goroutine. No locking is needed
+// anywhere in the simulation path.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. The zero value is not useful; obtain
+// Events from Simulator.Schedule or Simulator.At.
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int        // position in the heap, -1 once removed
+	owner *Simulator // simulator holding the event while queued
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancel removes the event from the queue. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e.index >= 0 && e.owner != nil {
+		heap.Remove(&e.owner.queue, e.index)
+		e.owner = nil
+	}
+}
+
+// Pending reports whether the event is still scheduled.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Simulator is a discrete-event simulation engine.
+type Simulator struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns a simulator with its clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// EventsFired returns the number of events executed so far, a cheap
+// progress/cost measure for benchmarks.
+func (s *Simulator) EventsFired() uint64 { return s.fired }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero (fire as soon as possible, after already-queued events
+// at the current instant).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past is an
+// error in the caller; the event is clamped to the current instant so the
+// clock never runs backwards.
+func (s *Simulator) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &Event{at: t, seq: s.seq, fn: fn, owner: s}
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Step executes the next event, advancing the clock. It returns false if
+// the queue is empty or the simulator has been halted.
+func (s *Simulator) Step() bool {
+	if s.halted || s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*Event)
+	ev.owner = nil
+	s.now = ev.at
+	s.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the clock would pass `until`, the queue
+// drains, or Halt is called. Events scheduled exactly at `until` still
+// fire. The clock is left at min(until, time of last event).
+func (s *Simulator) Run(until time.Duration) {
+	for !s.halted && s.queue.Len() > 0 {
+		next := s.queue.peek()
+		if next.at > until {
+			s.now = until
+			return
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll executes events until the queue drains or Halt is called.
+func (s *Simulator) RunAll() {
+	for s.Step() {
+	}
+}
+
+// Halt stops the run loop after the current event returns. Subsequent
+// Step and Run calls do nothing until Resume is called.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Resume clears a Halt.
+func (s *Simulator) Resume() { s.halted = false }
+
+// Pending returns the number of events still queued.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// eventQueue is a binary min-heap ordered by (time, insertion sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+func (q eventQueue) peek() *Event { return q[0] }

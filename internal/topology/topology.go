@@ -1,0 +1,175 @@
+// Package topology provides a god's-eye connectivity oracle over a
+// mobility model: the instantaneous unit-disk graph, shortest paths,
+// partition structure, and reachability. Protocols never see it — it
+// exists so that tests, analysis tools, and experiments can separate
+// protocol losses from physical impossibility (a packet whose destination
+// sits in another partition is not the routing protocol's failure).
+package topology
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/mobility"
+)
+
+// Graph is a snapshot of the connectivity graph at one instant.
+type Graph struct {
+	n     int
+	adj   [][]int
+	comp  []int // connected-component index per node
+	ncomp int
+}
+
+// Snapshot builds the unit-disk graph of the model at time at, with links
+// between nodes at most radioRange apart.
+func Snapshot(model mobility.Model, at time.Duration, radioRange float64) *Graph {
+	n := model.NumNodes()
+	pts := make([]mobility.Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = model.Position(i, at)
+	}
+	g := &Graph{n: n, adj: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pts[i].Dist(pts[j]) <= radioRange {
+				g.adj[i] = append(g.adj[i], j)
+				g.adj[j] = append(g.adj[j], i)
+			}
+		}
+	}
+	g.computeComponents()
+	return g
+}
+
+func (g *Graph) computeComponents() {
+	g.comp = make([]int, g.n)
+	for i := range g.comp {
+		g.comp[i] = -1
+	}
+	var queue []int
+	for start := 0; start < g.n; start++ {
+		if g.comp[start] >= 0 {
+			continue
+		}
+		g.comp[start] = g.ncomp
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range g.adj[cur] {
+				if g.comp[nb] < 0 {
+					g.comp[nb] = g.ncomp
+					queue = append(queue, nb)
+				}
+			}
+		}
+		g.ncomp++
+	}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// Neighbors returns the adjacency list of node i (shared slice; callers
+// must not mutate).
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree returns the number of links at node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Connected reports whether a and b are in the same partition.
+func (g *Graph) Connected(a, b int) bool { return g.comp[a] == g.comp[b] }
+
+// Components returns the number of connected components.
+func (g *Graph) Components() int { return g.ncomp }
+
+// Dist returns the hop distance between a and b, or -1 if disconnected.
+func (g *Graph) Dist(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if !g.Connected(a, b) {
+		return -1
+	}
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[a] = 0
+	queue := []int{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[cur] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[cur] + 1
+				if nb == b {
+					return dist[nb]
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return -1
+}
+
+// ShortestPath returns one shortest path from a to b (inclusive), or nil
+// if disconnected.
+func (g *Graph) ShortestPath(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	if !g.Connected(a, b) {
+		return nil
+	}
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = a
+	queue := []int{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[cur] {
+			if prev[nb] < 0 {
+				prev[nb] = cur
+				if nb == b {
+					queue = nil
+					break
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if prev[b] < 0 {
+		return nil
+	}
+	var rev []int
+	for cur := b; cur != a; cur = prev[cur] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, a)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ReachableFraction returns the fraction of ordered node pairs that are
+// connected — an upper bound on any protocol's delivery ratio for
+// uniformly chosen flows at this instant.
+func (g *Graph) ReachableFraction() float64 {
+	if g.n < 2 {
+		return 1
+	}
+	sizes := make([]int, g.ncomp)
+	for _, c := range g.comp {
+		sizes[c]++
+	}
+	var reachable int
+	for _, s := range sizes {
+		reachable += s * (s - 1)
+	}
+	return float64(reachable) / float64(g.n*(g.n-1))
+}

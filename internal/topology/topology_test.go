@@ -1,0 +1,112 @@
+package topology_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/topology"
+)
+
+func TestChainGraph(t *testing.T) {
+	g := topology.Snapshot(mobility.Line(5, 250), 0, 275)
+	if g.Components() != 1 {
+		t.Fatalf("chain has %d components", g.Components())
+	}
+	if d := g.Dist(0, 4); d != 4 {
+		t.Fatalf("Dist(0,4) = %d, want 4", d)
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("degrees wrong: %d, %d", g.Degree(0), g.Degree(2))
+	}
+	path := g.ShortestPath(0, 4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v", path)
+		}
+	}
+}
+
+func TestPartitionedGraph(t *testing.T) {
+	pts := []mobility.Point{{X: 0}, {X: 200}, {X: 2000}, {X: 2200}}
+	g := topology.Snapshot(mobility.NewStatic(pts), 0, 275)
+	if g.Components() != 2 {
+		t.Fatalf("components = %d, want 2", g.Components())
+	}
+	if g.Connected(0, 2) {
+		t.Fatal("cross-partition nodes reported connected")
+	}
+	if g.Dist(0, 2) != -1 || g.ShortestPath(0, 2) != nil {
+		t.Fatal("path exists across the partition")
+	}
+	// 2 pairs reachable within each 2-node island: 4 ordered pairs of 12.
+	if got := g.ReachableFraction(); got != 4.0/12.0 {
+		t.Fatalf("reachable fraction = %v, want 1/3", got)
+	}
+}
+
+func TestSelfDistance(t *testing.T) {
+	g := topology.Snapshot(mobility.Line(3, 250), 0, 275)
+	if g.Dist(1, 1) != 0 {
+		t.Fatal("self distance not 0")
+	}
+	if p := g.ShortestPath(1, 1); len(p) != 1 || p[0] != 1 {
+		t.Fatalf("self path = %v", p)
+	}
+}
+
+func TestSnapshotTracksMobility(t *testing.T) {
+	tracks := [][]mobility.ScriptLeg{
+		{{At: 0, Pos: mobility.Point{X: 0}}},
+		{
+			{At: 0, Pos: mobility.Point{X: 200}},
+			{At: 10 * time.Second, Pos: mobility.Point{X: 200}},
+			{At: 20 * time.Second, Pos: mobility.Point{X: 2000}},
+		},
+	}
+	model := mobility.NewScript(tracks)
+	if !topology.Snapshot(model, 0, 275).Connected(0, 1) {
+		t.Fatal("nodes disconnected at t=0")
+	}
+	if topology.Snapshot(model, 30*time.Second, 275).Connected(0, 1) {
+		t.Fatal("nodes still connected after the departure")
+	}
+}
+
+// Property: Dist is symmetric, satisfies the handshake with ShortestPath,
+// and -1 exactly when Connected is false.
+func TestDistanceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		model := mobility.NewWaypoint(12, mobility.WaypointConfig{
+			Terrain:  mobility.Terrain{Width: 1200, Height: 400},
+			MinSpeed: 1, MaxSpeed: 5, Pause: 0,
+		}, rng.New(seed))
+		g := topology.Snapshot(model, 0, 275)
+		for a := 0; a < 12; a++ {
+			for b := 0; b < 12; b++ {
+				dab, dba := g.Dist(a, b), g.Dist(b, a)
+				if dab != dba {
+					return false
+				}
+				if (dab < 0) == g.Connected(a, b) {
+					return false
+				}
+				if p := g.ShortestPath(a, b); dab >= 0 && len(p) != dab+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

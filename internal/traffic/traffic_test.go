@@ -1,0 +1,114 @@
+package traffic_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/mac"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/traffic"
+)
+
+// sinkProtocol swallows all packets, recording originations.
+type sinkProtocol struct {
+	originated []*routing.DataPacket
+}
+
+func (p *sinkProtocol) Start()                                         {}
+func (p *sinkProtocol) Stop()                                          {}
+func (p *sinkProtocol) HandleControl(routing.NodeID, routing.Message)  {}
+func (p *sinkProtocol) HandleData(routing.NodeID, *routing.DataPacket) {}
+func (p *sinkProtocol) Originate(pkt *routing.DataPacket)              { p.originated = append(p.originated, pkt) }
+
+func testNetwork(n int) (*routing.Network, []*sinkProtocol) {
+	var sinks []*sinkProtocol
+	nw := routing.NewNetwork(n, mobility.Line(n, 100), radio.DefaultConfig(), mac.DefaultConfig(), 1,
+		func(node *routing.Node) routing.Protocol {
+			s := &sinkProtocol{}
+			sinks = append(sinks, s)
+			return s
+		})
+	return nw, sinks
+}
+
+func TestOfferedLoadMatchesConfiguration(t *testing.T) {
+	nw, sinks := testNetwork(10)
+	cfg := traffic.DefaultConfig(5, 60*time.Second)
+	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, cfg, rng.New(2))
+	gen.Start()
+	nw.Sim.Run(60 * time.Second)
+
+	var total int
+	for _, s := range sinks {
+		total += len(s.originated)
+	}
+	// 5 flows × 4 pkt/s × ~59 s ≈ 1180 packets. Flow-restart gaps lose a
+	// few; anything within 10% is a correct offered load.
+	want := 1180.0
+	if float64(total) < want*0.9 || float64(total) > want*1.1 {
+		t.Fatalf("originated %d packets, want ≈ %.0f", total, want)
+	}
+	if nw.Collector.DataInitiated != uint64(total) {
+		t.Fatalf("collector counted %d initiated, protocols saw %d",
+			nw.Collector.DataInitiated, total)
+	}
+}
+
+func TestFlowsNeverSendToSelf(t *testing.T) {
+	nw, sinks := testNetwork(4)
+	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, traffic.DefaultConfig(8, 120*time.Second), rng.New(3))
+	gen.Start()
+	nw.Sim.Run(120 * time.Second)
+
+	for id, s := range sinks {
+		for _, pkt := range s.originated {
+			if pkt.Dst == routing.NodeID(id) {
+				t.Fatalf("node %d originated a packet to itself", id)
+			}
+			if pkt.Src != routing.NodeID(id) {
+				t.Fatalf("packet src %d does not match originating node %d", pkt.Src, id)
+			}
+			if pkt.Bytes != 512 {
+				t.Fatalf("packet size %d, want 512", pkt.Bytes)
+			}
+		}
+	}
+}
+
+func TestNoPacketsAfterStop(t *testing.T) {
+	nw, sinks := testNetwork(6)
+	cfg := traffic.DefaultConfig(3, 30*time.Second)
+	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, cfg, rng.New(4))
+	gen.Start()
+	nw.Sim.Run(90 * time.Second)
+
+	for _, s := range sinks {
+		for _, pkt := range s.originated {
+			if pkt.SentAt >= 30*time.Second {
+				t.Fatalf("packet originated at %v, after the 30s stop", pkt.SentAt)
+			}
+		}
+	}
+}
+
+func TestFlowsRestartToKeepLoadConstant(t *testing.T) {
+	nw, _ := testNetwork(8)
+	cfg := traffic.DefaultConfig(2, 600*time.Second)
+	// Short flows force many restarts within the run.
+	cfg.MeanFlowLife = 5 * time.Second
+	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, cfg, rng.New(5))
+	gen.Start()
+	nw.Sim.Run(600 * time.Second)
+
+	if gen.FlowsStarted < 50 {
+		t.Fatalf("only %d flows started over 600s with 5s mean life", gen.FlowsStarted)
+	}
+	// Offered load must stay ≈ 2 flows × 4 pkt/s × 600 s = 4800.
+	got := float64(nw.Collector.DataInitiated)
+	if got < 4800*0.85 || got > 4800*1.15 {
+		t.Fatalf("initiated %v packets, want ≈ 4800 despite flow churn", got)
+	}
+}

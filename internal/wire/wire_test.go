@@ -1,0 +1,87 @@
+package wire_test
+
+import (
+	"testing"
+
+	"github.com/manetlab/ldr/internal/wire"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	b := wire.NewEncoder(wire.TypeLDRRREQ).
+		U8(7).U16(513).U32(70000).U64(1 << 40).Node(-1).Node(42).
+		Bytes()
+
+	d, err := wire.NewDecoder(b, wire.TypeLDRRREQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := d.U16(); v != 513 {
+		t.Fatalf("U16 = %d", v)
+	}
+	if v := d.U32(); v != 70000 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := d.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := d.Node(); v != -1 {
+		t.Fatalf("Node = %d, want broadcast sentinel -1", v)
+	}
+	if v := d.Node(); v != 42 {
+		t.Fatalf("Node = %d", v)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderTypeMismatch(t *testing.T) {
+	b := wire.NewEncoder(wire.TypeAODVRREQ).U8(1).Bytes()
+	if _, err := wire.NewDecoder(b, wire.TypeLDRRREQ); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	b := wire.NewEncoder(wire.TypeOLSRTC).U32(1).Bytes()
+	d, err := wire.NewDecoder(b, wire.TypeOLSRTC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.U64() // reads past the end
+	if d.Err() == nil {
+		t.Fatal("truncated read not reported")
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	b := wire.NewEncoder(wire.TypeOLSRTC).U32(1).U32(2).Bytes()
+	d, err := wire.NewDecoder(b, wire.TypeOLSRTC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.U32()
+	if d.Err() == nil {
+		t.Fatal("trailing bytes not reported")
+	}
+}
+
+func TestEmptyBuffer(t *testing.T) {
+	if _, err := wire.NewDecoder(nil, wire.TypeLDRRREQ); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	if _, err := wire.Type(nil); err == nil {
+		t.Fatal("Type on nil buffer succeeded")
+	}
+}
+
+func TestTypePeek(t *testing.T) {
+	b := wire.NewEncoder(wire.TypeDSRRERR).Bytes()
+	got, err := wire.Type(b)
+	if err != nil || got != wire.TypeDSRRERR {
+		t.Fatalf("Type = %d, %v", got, err)
+	}
+}
