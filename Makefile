@@ -2,9 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench examples experiments clean
+.PHONY: all check build test vet race bench bench-all examples experiments clean
 
-all: build vet test
+all: check
+
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,9 +17,22 @@ vet:
 test:
 	$(GO) test ./...
 
+# The sweep engine and its callers are the only concurrent code; -race on
+# the whole module keeps them honest. The generous -timeout is for
+# single-core boxes, where the race detector's slowdown is at its worst.
+race:
+	$(GO) test -race -timeout 60m ./internal/sweep/ ./internal/experiments/ ./internal/scenario/
+
+# Sweep + radio hot-path benchmarks, recorded as BENCH_sweep.json
+# (events/sec, cells/sec, ns/op, allocs/op per benchmark).
+bench:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -bench 'Sweep|Transmit|Neighbors' -benchmem \
+		./internal/sweep/ ./internal/radio/ | tee /dev/stderr | /tmp/benchjson -o BENCH_sweep.json
+
 # One benchmark per paper table/figure plus the engine and coordination
 # benches, at reduced scale.
-bench:
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 examples:

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: github.com/manetlab/ldr/internal/sweep
+cpu: Imaginary CPU @ 2.00GHz
+BenchmarkSweepSerial-4          2	 612345678 ns/op	  13.1 cells/sec	 1834567 events/sec	 4096 B/op	   31 allocs/op
+BenchmarkSweepWorkers4-4        8	 153086419 ns/op	  52.3 cells/sec	 7338268 events/sec	 4100 B/op	   35 allocs/op
+PASS
+ok  	github.com/manetlab/ldr/internal/sweep	3.211s
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "Imaginary CPU @ 2.00GHz" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkSweepSerial-4" || r.Iterations != 2 {
+		t.Fatalf("result 0 = %+v", r)
+	}
+	want := map[string]float64{
+		"ns/op": 612345678, "cells/sec": 13.1, "events/sec": 1834567,
+		"B/op": 4096, "allocs/op": 31,
+	}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 12 ns/op",
+		"BenchmarkX 5 garbage ns/op",
+	} {
+		if _, ok := parseBench(line); ok {
+			t.Errorf("parseBench(%q) accepted malformed input", line)
+		}
+	}
+}

@@ -34,6 +34,7 @@ func run() error {
 		simTime = flag.Duration("simtime", 300*time.Second, "simulated time per run; paper: 900s")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		protos  = flag.String("protocols", "", "comma-separated protocol subset (default: ldr,aodv,dsr,olsr)")
+		workers = flag.Int("workers", 0, "concurrent scenario cells; 0 = GOMAXPROCS, 1 = serial (output is identical either way)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func run() error {
 		SimTime:  *simTime,
 		Out:      os.Stdout,
 		BaseSeed: *seed,
+		Workers:  *workers,
 	}
 	if *protos != "" {
 		for _, p := range strings.Split(*protos, ",") {

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	ldrsim -proto ldr -nodes 50 -flows 10 -pause 60s -simtime 300s -seed 1
+//
+// With -trials N (N > 1) the same scenario is run across seeds
+// seed..seed+N-1, fanned out over -workers goroutines, and reported as
+// one line per seed plus a mean ± 95% CI summary.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 
 	"github.com/manetlab/ldr/internal/mobility"
 	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/stats"
+	"github.com/manetlab/ldr/internal/sweep"
 )
 
 func main() {
@@ -35,6 +41,8 @@ func run() error {
 		speed   = flag.Float64("maxspeed", 20, "maximum node speed (m/s)")
 		simTime = flag.Duration("simtime", 300*time.Second, "simulated duration")
 		seed    = flag.Int64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 1, "number of seeds to run (seed..seed+trials-1)")
+		workers = flag.Int("workers", 0, "concurrent runs when trials > 1; 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -48,6 +56,10 @@ func run() error {
 		MaxSpeed:  *speed,
 		SimTime:   *simTime,
 		Seed:      *seed,
+	}
+
+	if *trials > 1 {
+		return runTrials(cfg, *trials, *workers)
 	}
 
 	start := time.Now()
@@ -76,5 +88,43 @@ func run() error {
 		fmt.Printf("mean dest seqno  %.2f\n", c.MeanSeqno())
 	}
 	fmt.Printf("sim events       %d (%.1fs wall)\n", res.Events, time.Since(start).Seconds())
+	return nil
+}
+
+// runTrials runs the scenario across consecutive seeds in parallel and
+// prints one line per seed plus an aggregate summary.
+func runTrials(cfg scenario.Config, trials, workers int) error {
+	cfgs := make([]scenario.Config, trials)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = cfg.Seed + int64(i)
+	}
+
+	start := time.Now()
+	results, err := sweep.Run(cfgs, sweep.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("protocol         %s\n", cfg.Protocol)
+	fmt.Printf("scenario         %d nodes, %.0fx%.0f m, %d flows, pause %v, %v sim, %d trials\n",
+		cfg.Nodes, cfg.Terrain.Width, cfg.Terrain.Height, cfg.Flows, cfg.PauseTime, cfg.SimTime, trials)
+	fmt.Printf("%-8s %12s %12s %14s %12s\n", "seed", "delivery %", "latency ms", "net load", "events")
+
+	var delivery, latency, load []float64
+	var events uint64
+	for _, res := range results {
+		c := res.Collector
+		d := 100 * c.DeliveryRatio()
+		l := float64(c.MeanLatency()) / float64(time.Millisecond)
+		n := c.NetworkLoad()
+		delivery, latency, load = append(delivery, d), append(latency, l), append(load, n)
+		events += res.Events
+		fmt.Printf("%-8d %12.2f %12.3f %14.3f %12d\n", res.Config.Seed, d, l, n, res.Events)
+	}
+	sd, sl, sn := stats.Summarize(delivery), stats.Summarize(latency), stats.Summarize(load)
+	fmt.Printf("%-8s %6.2f ±%4.2f %6.3f ±%4.2f %8.3f ±%4.2f\n", "mean", sd.Mean, sd.CI95, sl.Mean, sl.CI95, sn.Mean, sn.CI95)
+	wall := time.Since(start).Seconds()
+	fmt.Printf("sim events       %d (%.1fs wall, %.0f events/s)\n", events, wall, float64(events)/wall)
 	return nil
 }

@@ -40,59 +40,54 @@ func Variants() []LDRVariant {
 
 // Ablation measures each LDR variant (plus OLSR with and without the FIFO
 // jitter queue) on the 50-node, 10-flow, constant-motion scenario — the
-// regime where discovery efficiency matters most.
+// regime where discovery efficiency matters most. Rows are enumerated as
+// one flat cell list, simulated in parallel via internal/sweep, and
+// rendered in enumeration order.
 func Ablation(o Options) error {
 	o = o.Defaults()
 	const pause = 0 * time.Second
 
-	fmt.Fprintf(o.Out, "\nAblation — 50 nodes, 10 flows, pause 0 s, %v sim, %d trials\n", o.SimTime, o.Trials)
-	fmt.Fprintf(o.Out, "%-16s %16s %16s %16s %16s\n",
-		"variant", "delivery %", "latency ms", "net load", "rreq load")
+	base := func(seed int64) scenario.Config {
+		sc := scenario.Nodes50(scenario.LDR, 10, pause, seed)
+		sc.SimTime = o.SimTime
+		return sc
+	}
+
+	var names []string
+	var cfgs []scenario.Config
+	addRow := func(name string, mutate func(*scenario.Config)) {
+		names = append(names, name)
+		for _, seed := range o.trialSeeds() {
+			sc := base(seed)
+			mutate(&sc)
+			cfgs = append(cfgs, sc)
+		}
+	}
 
 	for _, v := range Variants() {
 		cfg := core.DefaultConfig()
 		v.Mutate(&cfg)
-		var samples []runMetrics
-		for _, seed := range o.trialSeeds() {
-			sc := scenario.Nodes50(scenario.LDR, 10, pause, seed)
-			sc.SimTime = o.SimTime
-			sc.LDRConfig = &cfg
-			m, err := run(sc)
-			if err != nil {
-				return err
-			}
-			samples = append(samples, m)
-		}
-		printAblationRow(o, v.Name, samples)
+		ldrCfg := cfg
+		addRow(v.Name, func(sc *scenario.Config) { sc.LDRConfig = &ldrCfg })
 	}
-
 	for _, proto := range []scenario.ProtocolName{scenario.OLSR, scenario.OLSRJ} {
-		var samples []runMetrics
-		for _, seed := range o.trialSeeds() {
-			sc := scenario.Nodes50(proto, 10, pause, seed)
-			sc.SimTime = o.SimTime
-			m, err := run(sc)
-			if err != nil {
-				return err
-			}
-			samples = append(samples, m)
-		}
-		printAblationRow(o, string(proto), samples)
+		proto := proto
+		addRow(string(proto), func(sc *scenario.Config) { sc.Protocol = proto })
+	}
+	// MAC-level ablation: LDR with RTS/CTS virtual carrier sensing.
+	addRow("ldr+rtscts", func(sc *scenario.Config) { sc.RTSCTS = true })
+
+	ms, err := runAll(cfgs, o)
+	if err != nil {
+		return err
 	}
 
-	// MAC-level ablation: LDR with RTS/CTS virtual carrier sensing.
-	var samples []runMetrics
-	for _, seed := range o.trialSeeds() {
-		sc := scenario.Nodes50(scenario.LDR, 10, pause, seed)
-		sc.SimTime = o.SimTime
-		sc.RTSCTS = true
-		m, err := run(sc)
-		if err != nil {
-			return err
-		}
-		samples = append(samples, m)
+	fmt.Fprintf(o.Out, "\nAblation — 50 nodes, 10 flows, pause 0 s, %v sim, %d trials\n", o.SimTime, o.Trials)
+	fmt.Fprintf(o.Out, "%-16s %16s %16s %16s %16s\n",
+		"variant", "delivery %", "latency ms", "net load", "rreq load")
+	for i, name := range names {
+		printAblationRow(o, name, ms[i*o.Trials:(i+1)*o.Trials])
 	}
-	printAblationRow(o, "ldr+rtscts", samples)
 	return nil
 }
 

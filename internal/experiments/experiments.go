@@ -7,6 +7,11 @@
 // configuration that preserves the paper's comparative shape while
 // completing in minutes on a laptop; passing 900 s and 10 trials
 // reproduces the paper's full setup.
+//
+// Every experiment first enumerates its full list of scenario cells,
+// fans them out across Options.Workers goroutines via internal/sweep,
+// then aggregates and renders serially in enumeration order — so the
+// rendered output is byte-identical whatever the worker count.
 package experiments
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"github.com/manetlab/ldr/internal/scenario"
 	"github.com/manetlab/ldr/internal/stats"
+	"github.com/manetlab/ldr/internal/sweep"
 )
 
 // Options control experiment scale and output.
@@ -25,6 +31,15 @@ type Options struct {
 	Out       io.Writer     // rendered tables/series
 	BaseSeed  int64         // first seed; trials use BaseSeed..BaseSeed+Trials-1
 	Protocols []scenario.ProtocolName
+
+	// Workers is the number of scenario cells simulated concurrently.
+	// Zero selects GOMAXPROCS; 1 forces the serial path. Output is
+	// byte-identical at every setting.
+	Workers int
+
+	// Progress, when non-nil, receives live cell counters for the sweep
+	// currently running (see sweep.Progress).
+	Progress *sweep.Progress
 }
 
 // Defaults fills unset options with the reduced-scale defaults.
@@ -45,6 +60,10 @@ func (o Options) Defaults() Options {
 		o.Protocols = scenario.AllProtocols
 	}
 	return o
+}
+
+func (o Options) sweepOptions() sweep.Options {
+	return sweep.Options{Workers: o.Workers, Progress: o.Progress}
 }
 
 // runMetrics is the per-run measurement vector (Table 1's columns).
@@ -75,6 +94,24 @@ func run(cfg scenario.Config) (runMetrics, error) {
 	}, nil
 }
 
+// runAll executes every cell across the worker pool and returns per-cell
+// metrics in input order.
+func runAll(cfgs []scenario.Config, o Options) ([]runMetrics, error) {
+	out := make([]runMetrics, len(cfgs))
+	err := sweep.Each(len(cfgs), o.sweepOptions(), func(i int) error {
+		m, err := run(cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // trialSeeds yields the seed list for one configuration cell.
 func (o Options) trialSeeds() []int64 {
 	seeds := make([]int64, o.Trials)
@@ -90,14 +127,15 @@ func (o Options) trialSeeds() []int64 {
 func Table1(o Options) error {
 	o = o.Defaults()
 	pauses := scenario.PauseTimes(o.SimTime)
+	flowCounts := []int{10, 30}
 
-	for _, flows := range []int{10, 30} {
-		fmt.Fprintf(o.Out, "\nTable 1 — %d flows (mean ± 95%% CI over pause times × {50,100} nodes × %d trials, %v sim)\n",
-			flows, o.Trials, o.SimTime)
-		fmt.Fprintf(o.Out, "%-8s %16s %16s %16s %16s %16s %16s\n",
-			"proto", "delivery %", "latency ms", "net load", "rreq load", "rrep init", "rrep recv")
+	// Enumerate the full table as one flat cell list so the sweep can
+	// keep every worker busy across protocol and flow sections; each
+	// (flows, proto) row is a contiguous block of perRow cells.
+	perRow := len(pauses) * o.Trials * 2
+	var cfgs []scenario.Config
+	for _, flows := range flowCounts {
 		for _, proto := range o.Protocols {
-			var samples []runMetrics
 			for _, pause := range pauses {
 				for _, seed := range o.trialSeeds() {
 					for _, build := range []func(scenario.ProtocolName, int, time.Duration, int64) scenario.Config{
@@ -105,15 +143,26 @@ func Table1(o Options) error {
 					} {
 						cfg := build(proto, flows, pause, seed)
 						cfg.SimTime = o.SimTime
-						m, err := run(cfg)
-						if err != nil {
-							return err
-						}
-						samples = append(samples, m)
+						cfgs = append(cfgs, cfg)
 					}
 				}
 			}
-			row := summarizeRuns(samples)
+		}
+	}
+	ms, err := runAll(cfgs, o)
+	if err != nil {
+		return err
+	}
+
+	idx := 0
+	for _, flows := range flowCounts {
+		fmt.Fprintf(o.Out, "\nTable 1 — %d flows (mean ± 95%% CI over pause times × {50,100} nodes × %d trials, %v sim)\n",
+			flows, o.Trials, o.SimTime)
+		fmt.Fprintf(o.Out, "%-8s %16s %16s %16s %16s %16s %16s\n",
+			"proto", "delivery %", "latency ms", "net load", "rreq load", "rrep init", "rrep recv")
+		for _, proto := range o.Protocols {
+			row := summarizeRuns(ms[idx : idx+perRow])
+			idx += perRow
 			fmt.Fprintf(o.Out, "%-8s %s %s %s %s %s %s\n", proto,
 				ci(row.delivery), ci(row.latency), ci(row.netLoad),
 				ci(row.rreqLoad), ci(row.rrepInit), ci(row.rrepRecv))
@@ -155,6 +204,21 @@ func DeliveryFigure(o Options, id string, nodes, flows int) error {
 	o = o.Defaults()
 	pauses := scenario.PauseTimes(o.SimTime)
 
+	var cfgs []scenario.Config
+	for _, pause := range pauses {
+		for _, proto := range o.Protocols {
+			for _, seed := range o.trialSeeds() {
+				cfg := cell(proto, nodes, flows, pause, seed)
+				cfg.SimTime = o.SimTime
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	ms, err := runAll(cfgs, o)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(o.Out, "\n%s — delivery ratio vs pause time (%d nodes, %d flows, %v sim, %d trials)\n",
 		id, nodes, flows, o.SimTime, o.Trials)
 	fmt.Fprintf(o.Out, "%-8s", "pause_s")
@@ -163,18 +227,14 @@ func DeliveryFigure(o Options, id string, nodes, flows int) error {
 	}
 	fmt.Fprintln(o.Out)
 
+	idx := 0
 	for _, pause := range pauses {
 		fmt.Fprintf(o.Out, "%-8.0f", pause.Seconds())
-		for _, proto := range o.Protocols {
-			var xs []float64
-			for _, seed := range o.trialSeeds() {
-				cfg := cell(proto, nodes, flows, pause, seed)
-				cfg.SimTime = o.SimTime
-				m, err := run(cfg)
-				if err != nil {
-					return err
-				}
-				xs = append(xs, m.delivery)
+		for range o.Protocols {
+			xs := make([]float64, o.Trials)
+			for t := 0; t < o.Trials; t++ {
+				xs[t] = ms[idx].delivery
+				idx++
 			}
 			s := stats.Summarize(xs)
 			fmt.Fprintf(o.Out, "    %7.2f ±%5.2f", s.Mean, s.CI95)
@@ -208,24 +268,39 @@ func Fig6(o Options) error {
 func Fig7(o Options) error {
 	o = o.Defaults()
 	pauses := scenario.PauseTimes(o.SimTime)
+	flowCounts := []int{10, 30}
+	protos := []scenario.ProtocolName{scenario.LDR, scenario.AODV}
+
+	var cfgs []scenario.Config
+	for _, pause := range pauses {
+		for _, flows := range flowCounts {
+			for _, proto := range protos {
+				for _, seed := range o.trialSeeds() {
+					cfg := scenario.Nodes50(proto, flows, pause, seed)
+					cfg.SimTime = o.SimTime
+					cfgs = append(cfgs, cfg)
+				}
+			}
+		}
+	}
+	ms, err := runAll(cfgs, o)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(o.Out, "\nFig 7 — mean destination sequence number (50 nodes, %v sim, %d trials)\n",
 		o.SimTime, o.Trials)
 	fmt.Fprintf(o.Out, "%-8s %18s %18s %18s %18s\n",
 		"pause_s", "ldr-10f", "aodv-10f", "ldr-30f", "aodv-30f")
+	idx := 0
 	for _, pause := range pauses {
 		fmt.Fprintf(o.Out, "%-8.0f", pause.Seconds())
-		for _, flows := range []int{10, 30} {
-			for _, proto := range []scenario.ProtocolName{scenario.LDR, scenario.AODV} {
-				var xs []float64
-				for _, seed := range o.trialSeeds() {
-					cfg := scenario.Nodes50(proto, flows, pause, seed)
-					cfg.SimTime = o.SimTime
-					m, err := run(cfg)
-					if err != nil {
-						return err
-					}
-					xs = append(xs, m.seqno)
+		for range flowCounts {
+			for range protos {
+				xs := make([]float64, o.Trials)
+				for t := 0; t < o.Trials; t++ {
+					xs[t] = ms[idx].seqno
+					idx++
 				}
 				s := stats.Summarize(xs)
 				fmt.Fprintf(o.Out, "    %7.2f ±%5.2f", s.Mean, s.CI95)

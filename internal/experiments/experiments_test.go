@@ -105,3 +105,50 @@ func TestTable1RendersBothLoads(t *testing.T) {
 		t.Fatalf("table1 output missing a flow section:\n%s", out)
 	}
 }
+
+// render runs an experiment into a buffer and returns the bytes.
+func render(t *testing.T, o experiments.Options, fn func(experiments.Options) error) string {
+	t.Helper()
+	var buf strings.Builder
+	o.Out = &buf
+	if err := fn(o); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestParallelOutputByteIdentical is the sweep engine's end-to-end
+// determinism contract: every experiment's rendered output must be
+// byte-identical between a serial run and a 4-worker run.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	experimentsUnderTest := []struct {
+		name string
+		fn   func(experiments.Options) error
+	}{
+		{"table1", experiments.Table1},
+		{"figure", func(o experiments.Options) error {
+			return experiments.DeliveryFigure(o, "Fig X", 15, 3)
+		}},
+		{"fig7", experiments.Fig7},
+		{"ablation", experiments.Ablation},
+	}
+	for _, e := range experimentsUnderTest {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			o := tiny(scenario.LDR, scenario.AODV)
+			o.SimTime = 15 * time.Second
+			o.Trials = 2
+			o.Workers = 1
+			serial := render(t, o, e.fn)
+			o.Workers = 4
+			parallel := render(t, o, e.fn)
+			if serial != parallel {
+				t.Fatalf("serial and 4-worker output differ\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serial, parallel)
+			}
+			if !strings.Contains(serial, "±") {
+				t.Fatalf("output has no data rows:\n%s", serial)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ package mobility
 
 import (
 	"math"
+	"strconv"
 	"time"
 
 	"github.com/manetlab/ldr/internal/rng"
@@ -54,10 +55,17 @@ type WaypointConfig struct {
 }
 
 // Waypoint implements the random waypoint model.
+//
+// Each node draws waypoints and speeds from its own PRNG stream (split
+// from the scenario seed by node index), so a node's trajectory is a pure
+// function of (seed, node, time): legs are advanced lazily on Position
+// queries, and neither the order of queries across nodes nor how often a
+// node is queried changes where anyone ends up. This query-pattern
+// invariance is what allows the radio's spatial grid to skip position
+// lookups for far-away nodes without perturbing the simulation.
 type Waypoint struct {
 	cfg   WaypointConfig
 	nodes []waypointState
-	rng   *rng.Source
 }
 
 type waypointState struct {
@@ -65,6 +73,7 @@ type waypointState struct {
 	segStart   time.Duration // movement start
 	segEnd     time.Duration // arrival at `to`
 	pauseUntil time.Duration // end of pause following arrival
+	rng        *rng.Source   // this node's private stream
 }
 
 var _ Model = (*Waypoint)(nil)
@@ -82,17 +91,14 @@ func NewWaypoint(n int, cfg WaypointConfig, src *rng.Source) *Waypoint {
 	w := &Waypoint{
 		cfg:   cfg,
 		nodes: make([]waypointState, n),
-		rng:   src,
 	}
 	for i := range w.nodes {
-		p := w.randomPoint()
-		w.nodes[i] = waypointState{
-			from:       p,
-			to:         p,
-			segStart:   0,
-			segEnd:     0,
-			pauseUntil: cfg.Pause,
-		}
+		st := &w.nodes[i]
+		st.rng = src.Split("waypoint" + strconv.Itoa(i))
+		p := w.randomPoint(st)
+		st.from = p
+		st.to = p
+		st.pauseUntil = cfg.Pause
 	}
 	return w
 }
@@ -121,18 +127,18 @@ func (w *Waypoint) Position(id int, at time.Duration) Point {
 
 func (w *Waypoint) nextLeg(st *waypointState) {
 	st.from = st.to
-	st.to = w.randomPoint()
-	speed := w.rng.Range(w.cfg.MinSpeed, w.cfg.MaxSpeed)
+	st.to = w.randomPoint(st)
+	speed := st.rng.Range(w.cfg.MinSpeed, w.cfg.MaxSpeed)
 	dist := st.from.Dist(st.to)
 	st.segStart = st.pauseUntil
 	st.segEnd = st.segStart + time.Duration(dist/speed*float64(time.Second))
 	st.pauseUntil = st.segEnd + w.cfg.Pause
 }
 
-func (w *Waypoint) randomPoint() Point {
+func (w *Waypoint) randomPoint(st *waypointState) Point {
 	return Point{
-		X: w.rng.Float64() * w.cfg.Terrain.Width,
-		Y: w.rng.Float64() * w.cfg.Terrain.Height,
+		X: st.rng.Float64() * w.cfg.Terrain.Width,
+		Y: st.rng.Float64() * w.cfg.Terrain.Height,
 	}
 }
 

@@ -18,6 +18,7 @@
 package olsr
 
 import (
+	"sort"
 	"time"
 
 	"github.com/manetlab/ldr/internal/metrics"
@@ -195,6 +196,7 @@ func (o *OLSR) sendHello() {
 		}
 		h.Neighbors = append(h.Neighbors, HelloNeighbor{ID: id, Code: code})
 	}
+	sort.Slice(h.Neighbors, func(i, j int) bool { return h.Neighbors[i].ID < h.Neighbors[j].ID })
 	o.node.Metrics().CountControlInitiate(metrics.Hello)
 	o.queue.push(h)
 	o.helloTimer = o.node.Schedule(o.cfg.HelloInterval, o.sendHello)
@@ -215,6 +217,7 @@ func (o *OLSR) sendTC() {
 		for id := range o.selectors {
 			tc.Selectors = append(tc.Selectors, id)
 		}
+		sortNodeIDs(tc.Selectors)
 		o.node.Metrics().CountControlInitiate(metrics.TC)
 		o.queue.push(tc)
 	}
@@ -409,6 +412,12 @@ func (o *OLSR) handleTC(from routing.NodeID, tc TC) {
 	o.queue.pushForward(fwd)
 }
 
+// sortNodeIDs sorts in place; wire formats and BFS expansion use it so no
+// observable behaviour depends on map iteration order.
+func sortNodeIDs(ids []routing.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
 // seqGreater compares 16-bit sequence numbers with wraparound.
 func seqGreater(a, b uint16) bool {
 	return (a > b && a-b <= 32768) || (a < b && b-a > 32768)
@@ -509,39 +518,51 @@ func (o *OLSR) recompute() {
 		next routing.NodeID // first hop on the path
 		dist int
 	}
+	// Expansion order must not depend on map iteration order: equal-cost
+	// destinations keep whichever first hop the BFS reaches first, and a
+	// run-to-run change there changes forwarding (and so the whole
+	// simulation). Seed and expand in sorted NodeID order.
 	var queue []qe
+	neigh := make([]routing.NodeID, 0, len(o.links))
 	for n, l := range o.links {
 		if l.symmetric {
-			o.routes[n] = n
-			o.hops[n] = 1
-			queue = append(queue, qe{node: n, next: n, dist: 1})
+			neigh = append(neigh, n)
 		}
 	}
+	sortNodeIDs(neigh)
+	for _, n := range neigh {
+		o.routes[n] = n
+		o.hops[n] = 1
+		queue = append(queue, qe{node: n, next: n, dist: 1})
+	}
+	var targets []routing.NodeID
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		expand := func(to routing.NodeID) {
-			if to == me {
-				return
-			}
-			if _, seen := o.routes[to]; seen {
-				return
-			}
-			o.routes[to] = cur.next
-			o.hops[to] = cur.dist + 1
-			queue = append(queue, qe{node: to, next: cur.next, dist: cur.dist + 1})
-		}
+		targets = targets[:0]
 		// Two-hop tuples extend one hop past direct neighbors.
 		for th, exp := range o.twoHop[cur.node] {
 			if exp > now {
-				expand(th)
+				targets = append(targets, th)
 			}
 		}
 		// Topology tuples: lastHop → dest edges from TCs.
 		for dst, tset := range o.topology {
 			if tup, ok := tset[cur.node]; ok && tup.expiry > now {
-				expand(dst)
+				targets = append(targets, dst)
 			}
+		}
+		sortNodeIDs(targets)
+		for _, to := range targets {
+			if to == me {
+				continue
+			}
+			if _, seen := o.routes[to]; seen {
+				continue
+			}
+			o.routes[to] = cur.next
+			o.hops[to] = cur.dist + 1
+			queue = append(queue, qe{node: to, next: cur.next, dist: cur.dist + 1})
 		}
 	}
 	o.dirty = false

@@ -1,0 +1,88 @@
+package radio
+
+import (
+	"math"
+
+	"github.com/manetlab/ldr/internal/mobility"
+)
+
+// grid is a uniform spatial hash over node positions, keyed by cells of
+// side cellSize ≥ CSRange + GridSlack. It answers "which nodes could be
+// within CSRange of this point?" by scanning the 3×3 cell neighborhood,
+// replacing the O(N) all-nodes scan in Transmit.
+//
+// Bucket positions are allowed to go stale for up to Config.GridWindow of
+// virtual time (the medium refreshes every node at least that often, and
+// opportunistically whenever it computes a node's exact position). The
+// 3×3 lookup stays exhaustive while every cached position is within
+// GridSlack meters of the node's true position, i.e. for node speeds up
+// to GridSlack/GridWindow — 500 m/s at the defaults, far above the
+// paper's 20 m/s. Candidate sets are a superset of the truth; the medium
+// always re-checks candidates against exact positions, so receiver sets
+// are identical to the brute-force scan, not an approximation.
+type grid struct {
+	cellSize float64
+	cells    map[uint64][]int32
+	cellOf   []uint64 // current cell key per node
+	inCell   []bool   // whether the node has been bucketed yet
+}
+
+func newGrid(n int, cellSize float64) *grid {
+	return &grid{
+		cellSize: cellSize,
+		cells:    make(map[uint64][]int32),
+		cellOf:   make([]uint64, n),
+		inCell:   make([]bool, n),
+	}
+}
+
+// cellKey packs the cell coordinates of p into one map key. Coordinates
+// are floored, so negative positions (scripted models) hash correctly.
+func (g *grid) cellKey(p mobility.Point) uint64 {
+	cx := int32(math.Floor(p.X / g.cellSize))
+	cy := int32(math.Floor(p.Y / g.cellSize))
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// update moves node id to the cell containing p, if it changed.
+func (g *grid) update(id int, p mobility.Point) {
+	k := g.cellKey(p)
+	if g.inCell[id] {
+		if k == g.cellOf[id] {
+			return
+		}
+		g.remove(id)
+	}
+	g.cells[k] = append(g.cells[k], int32(id))
+	g.cellOf[id] = k
+	g.inCell[id] = true
+}
+
+func (g *grid) remove(id int) {
+	k := g.cellOf[id]
+	b := g.cells[k]
+	for i, v := range b {
+		if v == int32(id) {
+			b[i] = b[len(b)-1]
+			g.cells[k] = b[:len(b)-1]
+			break
+		}
+	}
+}
+
+// appendCandidates appends every node bucketed in the 3×3 cell
+// neighborhood of p to out and returns the extended slice. The result is
+// a superset of all nodes within cellSize - GridSlack meters of p
+// (assuming the staleness contract holds); callers must distance-check
+// candidates against exact positions.
+func (g *grid) appendCandidates(p mobility.Point, out []int32) []int32 {
+	cx := int32(math.Floor(p.X / g.cellSize))
+	cy := int32(math.Floor(p.Y / g.cellSize))
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			k := uint64(uint32(cx+dx))<<32 | uint64(uint32(cy+dy))
+			out = append(out, g.cells[k]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package radio_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// The spatial grid is only a candidate filter: receiver sets must be
+// byte-for-byte the sets the seed's brute-force O(N) scan produced. These
+// property tests compare the medium's observable behaviour (who decodes a
+// frame, who senses the channel busy) against an independent brute-force
+// oracle computed straight from the mobility model, across random
+// positions, grid-boundary straddlers, and moving nodes.
+
+// oracleSets computes the in-range (decodable) and carrier-sense sets of
+// src from exact model positions at time at.
+func oracleSets(model mobility.Model, cfg radio.Config, src int, at time.Duration) (inRange, senses map[int]bool) {
+	inRange = make(map[int]bool)
+	senses = make(map[int]bool)
+	p := model.Position(src, at)
+	for i := 0; i < model.NumNodes(); i++ {
+		if i == src {
+			continue
+		}
+		d := p.Dist(model.Position(i, at))
+		if d <= cfg.Range {
+			inRange[i] = true
+		}
+		if d <= cfg.CSRange {
+			senses[i] = true
+		}
+	}
+	return inRange, senses
+}
+
+// checkTransmits drives one transmission per entry of srcs, spaced widely
+// enough that frames never overlap, and asserts after each that (a) the
+// decoded set equals the oracle's in-range set and (b) the mid-flight
+// Busy set equals the oracle's carrier-sense set. model and oracle must
+// be two independently constructed but identical mobility models.
+func checkTransmits(t *testing.T, model, oracle mobility.Model, cfg radio.Config, srcs []int, gap time.Duration) {
+	t.Helper()
+	s := sim.New()
+	m := radio.New(s, model, cfg)
+	n := model.NumNodes()
+
+	decoded := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		i := i
+		m.Attach(i, func(from int, payload any) { decoded[i] = true })
+	}
+
+	const bits = 8192 // ≈4 ms airtime at 2 Mb/s, well under gap
+	air := m.AirTime(bits)
+	if air+cfg.PropDelay >= gap {
+		t.Fatalf("frames overlap: air %v ≥ gap %v", air, gap)
+	}
+
+	for k, src := range srcs {
+		k, src := k, src
+		at := time.Duration(k) * gap
+		s.At(at, func() {
+			for i := range decoded {
+				delete(decoded, i)
+			}
+			m.Transmit(src, bits, k)
+		})
+		// Probe carrier sense mid-flight: just after the signal arrives
+		// everywhere (prop delay + 1ns beats the same-instant start events).
+		s.At(at+cfg.PropDelay+time.Nanosecond, func() {
+			_, senses := oracleSets(oracle, cfg, src, at)
+			for i := 0; i < n; i++ {
+				if i == src {
+					if !m.Busy(i) {
+						t.Errorf("t=%v src=%d: sender does not sense its own transmission", at, src)
+					}
+					continue
+				}
+				if m.Busy(i) != senses[i] {
+					t.Errorf("t=%v src=%d: Busy(%d)=%v, oracle carrier-sense says %v",
+						at, src, i, m.Busy(i), senses[i])
+				}
+			}
+		})
+		// After the frame lands, the decoded set must match the oracle.
+		s.At(at+cfg.PropDelay+air+time.Nanosecond, func() {
+			inRange, _ := oracleSets(oracle, cfg, src, at)
+			for i := 0; i < n; i++ {
+				if i == src {
+					continue
+				}
+				if decoded[i] != inRange[i] {
+					t.Errorf("t=%v src=%d: decoded[%d]=%v, oracle in-range says %v",
+						at, src, i, decoded[i], inRange[i])
+				}
+			}
+		})
+	}
+	s.RunAll()
+}
+
+func TestGridMatchesBruteForceRandomStatic(t *testing.T) {
+	cfg := radio.DefaultConfig()
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		// Terrain much larger than one grid cell so many cells are live.
+		pts := make([]mobility.Point, 60)
+		for i := range pts {
+			pts[i] = mobility.Point{X: r.Float64() * 4000, Y: r.Float64() * 3000}
+		}
+		srcs := make([]int, 12)
+		for i := range srcs {
+			srcs[i] = r.Intn(len(pts))
+		}
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			checkTransmits(t, mobility.NewStatic(pts), mobility.NewStatic(pts), cfg, srcs, 100*time.Millisecond)
+		})
+	}
+}
+
+func TestGridMatchesBruteForceBoundaryStraddlers(t *testing.T) {
+	cfg := radio.DefaultConfig()
+	cell := cfg.CSRange + 50 // the grid's cell size at defaults
+	eps := 1e-9
+	// Nodes packed directly on and around cell corners and edges, the
+	// degenerate geometry for a spatial hash, plus exact-distance pairs.
+	var pts []mobility.Point
+	for _, cx := range []float64{0, cell, 2 * cell} {
+		for _, cy := range []float64{0, cell} {
+			pts = append(pts,
+				mobility.Point{X: cx, Y: cy},
+				mobility.Point{X: cx - eps, Y: cy},
+				mobility.Point{X: cx + eps, Y: cy},
+				mobility.Point{X: cx, Y: cy - eps},
+				mobility.Point{X: cx, Y: cy + eps},
+				mobility.Point{X: cx + cfg.Range, Y: cy},         // exactly decodable
+				mobility.Point{X: cx + cfg.CSRange, Y: cy},       // exactly at CS edge
+				mobility.Point{X: cx + cfg.CSRange + eps, Y: cy}, // just outside
+				mobility.Point{X: cx - cfg.Range/2, Y: cy + 10},  // interior
+			)
+		}
+	}
+	srcs := make([]int, 0, len(pts))
+	for i := range pts {
+		srcs = append(srcs, i)
+	}
+	checkTransmits(t, mobility.NewStatic(pts), mobility.NewStatic(pts), cfg, srcs, 100*time.Millisecond)
+}
+
+func waypointPair(n int, maxSpeed float64, pause time.Duration, seed int64) (a, b mobility.Model) {
+	mk := func() mobility.Model {
+		return mobility.NewWaypoint(n, mobility.WaypointConfig{
+			Terrain:  mobility.Terrain{Width: 3000, Height: 2400},
+			MinSpeed: 1,
+			MaxSpeed: maxSpeed,
+			Pause:    pause,
+		}, rng.New(seed))
+	}
+	// Waypoint trajectories are query-pattern invariant (per-node RNG
+	// streams), so two identically seeded models stay in lockstep no
+	// matter how differently the medium and the oracle query them.
+	return mk(), mk()
+}
+
+func TestGridMatchesBruteForceMovingNodes(t *testing.T) {
+	cfg := radio.DefaultConfig()
+	for seed := int64(1); seed <= 4; seed++ {
+		model, oracle := waypointPair(40, 20, 0, seed)
+		r := rng.New(100 + seed)
+		// 240 transmissions spread over 120 s of virtual time: nodes cross
+		// many cell boundaries and every bucket goes stale repeatedly.
+		srcs := make([]int, 240)
+		for i := range srcs {
+			srcs[i] = r.Intn(40)
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			checkTransmits(t, model, oracle, cfg, srcs, 500*time.Millisecond)
+		})
+	}
+}
+
+func TestGridMatchesBruteForceFastMovers(t *testing.T) {
+	// 200 m/s movers: 20 m of drift per 100 ms staleness window, still
+	// within the 50 m default slack. Exercises the staleness contract
+	// hard rather than the paper's gentle 20 m/s.
+	cfg := radio.DefaultConfig()
+	model, oracle := waypointPair(30, 200, 0, 9)
+	r := rng.New(99)
+	srcs := make([]int, 160)
+	for i := range srcs {
+		srcs[i] = r.Intn(30)
+	}
+	checkTransmits(t, model, oracle, cfg, srcs, 250*time.Millisecond)
+}
+
+func TestNeighborsMatchesBruteForce(t *testing.T) {
+	cfg := radio.DefaultConfig()
+	model, oracle := waypointPair(50, 20, 0, 5)
+	s := sim.New()
+	m := radio.New(s, model, cfg)
+
+	var buf []int
+	for step := 0; step < 200; step++ {
+		at := time.Duration(step) * 300 * time.Millisecond
+		id := step % 50
+		s.At(at, func() {
+			buf = m.NeighborsAppend(id, buf[:0])
+			inRange, _ := oracleSets(oracle, cfg, id, at)
+			if len(buf) != len(inRange) {
+				t.Errorf("t=%v: Neighbors(%d) has %d entries, oracle %d", at, id, len(buf), len(inRange))
+				return
+			}
+			prev := -1
+			for _, v := range buf {
+				if !inRange[v] {
+					t.Errorf("t=%v: Neighbors(%d) contains %d, oracle disagrees", at, id, v)
+				}
+				if v <= prev {
+					t.Errorf("t=%v: Neighbors(%d) not in ascending order: %v", at, id, buf)
+				}
+				prev = v
+			}
+		})
+	}
+	s.RunAll()
+}

@@ -10,9 +10,15 @@
 //
 // The paper's simulations use "the MAC layer with a 275 m transmission
 // range" at 2 Mb/s; those are the defaults here.
+//
+// Receiver lookup is a uniform spatial-hash grid (see grid.go) instead of
+// an O(N) scan over all nodes, and node positions are computed at most
+// once per transmit instant and cached, so the per-frame cost scales with
+// the local node density rather than the network size.
 package radio
 
 import (
+	"sort"
 	"time"
 
 	"github.com/manetlab/ldr/internal/mobility"
@@ -25,6 +31,17 @@ type Config struct {
 	CSRange   float64       // carrier-sense/interference range, meters
 	BitRate   float64       // channel rate, bits per second
 	PropDelay time.Duration // fixed propagation delay
+
+	// GridWindow bounds how stale a node's spatial-grid bucket may get:
+	// every node is re-bucketed at least once per window of virtual time.
+	// GridSlack pads the grid cell size beyond CSRange so the 3×3 cell
+	// lookup stays exhaustive while buckets age; it must be at least
+	// (max node speed) × GridWindow. The defaults (100 ms, 50 m) are
+	// exhaustive for node speeds up to 500 m/s. Zero values select the
+	// defaults. Receiver sets are exact regardless — candidates are
+	// always re-checked against exact positions.
+	GridWindow time.Duration
+	GridSlack  float64
 }
 
 // DefaultConfig matches the paper's simulation setup: 275 m transmission
@@ -50,6 +67,26 @@ type Medium struct {
 	cfg   Config
 	nodes []nodeState
 
+	// Position cache: pos[i] is node i's position at virtual time
+	// posTime[i]. Every lookup in one transmit instant hits the cache, so
+	// Position is computed once per node per instant, not once per
+	// (sender, receiver) pair.
+	pos     []mobility.Point
+	posTime []time.Duration
+
+	grid      *grid
+	gridTime  time.Duration // time of the last full re-bucketing
+	gridFresh bool
+
+	cand []int32 // scratch receiver-candidate buffer, reused per call
+
+	rcFree []*reception // reception free list
+
+	// Pre-bound event callbacks, so the hot path schedules no closures.
+	startFn func(any)
+	endFn   func(any)
+	idleFn  func(any)
+
 	// Transmissions counts frames put on the air, for diagnostics.
 	Transmissions uint64
 	// Corrupted counts per-receiver receptions lost to collisions.
@@ -65,9 +102,11 @@ type nodeState struct {
 }
 
 type reception struct {
-	from      int
-	payload   any
+	from      int32
+	dst       int32
+	decodable bool
 	corrupted bool
+	payload   any
 }
 
 // New builds a medium over the given mobility model. Positions are sampled
@@ -77,12 +116,29 @@ func New(s *sim.Simulator, model mobility.Model, cfg Config) *Medium {
 	if cfg.CSRange < cfg.Range {
 		cfg.CSRange = cfg.Range
 	}
-	return &Medium{
-		sim:   s,
-		model: model,
-		cfg:   cfg,
-		nodes: make([]nodeState, model.NumNodes()),
+	if cfg.GridWindow <= 0 {
+		cfg.GridWindow = 100 * time.Millisecond
 	}
+	if cfg.GridSlack <= 0 {
+		cfg.GridSlack = 50
+	}
+	n := model.NumNodes()
+	m := &Medium{
+		sim:     s,
+		model:   model,
+		cfg:     cfg,
+		nodes:   make([]nodeState, n),
+		pos:     make([]mobility.Point, n),
+		posTime: make([]time.Duration, n),
+		grid:    newGrid(n, cfg.CSRange+cfg.GridSlack),
+	}
+	for i := range m.posTime {
+		m.posTime[i] = -1 // sentinel: no position cached yet
+	}
+	m.startFn = m.signalStart
+	m.endFn = m.signalEnd
+	m.idleFn = func(arg any) { m.checkIdle(arg.(int)) }
+	return m
 }
 
 // Config returns the medium's configuration.
@@ -95,6 +151,34 @@ func (m *Medium) Model() mobility.Model { return m.model }
 // Attach registers the frame-delivery callback for a node.
 func (m *Medium) Attach(id int, rx ReceiverFunc) {
 	m.nodes[id].rx = rx
+}
+
+// position returns node id's position at the current instant, computing
+// it at most once per instant and keeping the node's grid bucket fresh.
+func (m *Medium) position(id int) mobility.Point {
+	now := m.sim.Now()
+	if m.posTime[id] != now {
+		m.pos[id] = m.model.Position(id, now)
+		m.posTime[id] = now
+		m.grid.update(id, m.pos[id])
+	}
+	return m.pos[id]
+}
+
+// maybeRefresh re-buckets every node once the grid's staleness window has
+// elapsed, bounding how far any bucket can lag its node's true position.
+// Amortized cost: one O(N) position pass per GridWindow of virtual time,
+// versus one per transmission before the grid existed.
+func (m *Medium) maybeRefresh() {
+	now := m.sim.Now()
+	if m.gridFresh && now-m.gridTime <= m.cfg.GridWindow {
+		return
+	}
+	for i := range m.nodes {
+		m.position(i)
+	}
+	m.gridTime = now
+	m.gridFresh = true
 }
 
 // Busy reports whether node id currently senses the channel busy (a signal
@@ -121,6 +205,24 @@ func (m *Medium) AirTime(bits int) time.Duration {
 	return time.Duration(float64(bits) / m.cfg.BitRate * float64(time.Second))
 }
 
+// newReception draws a reception from the free list.
+func (m *Medium) newReception(from, dst int, decodable bool, payload any) *reception {
+	var rc *reception
+	if n := len(m.rcFree); n > 0 {
+		rc = m.rcFree[n-1]
+		m.rcFree[n-1] = nil
+		m.rcFree = m.rcFree[:n-1]
+	} else {
+		rc = &reception{}
+	}
+	rc.from = int32(from)
+	rc.dst = int32(dst)
+	rc.decodable = decodable
+	rc.corrupted = false
+	rc.payload = payload
+	return rc
+}
+
 // Transmit puts a frame on the air from node src and returns its airtime.
 // The MAC is responsible for carrier sensing before calling Transmit; the
 // radio faithfully transmits (and collides) regardless.
@@ -138,30 +240,32 @@ func (m *Medium) Transmit(src, bits int, payload any) time.Duration {
 			m.Corrupted++
 		}
 	}
-	m.sim.Schedule(air, func() { m.checkIdle(src) })
+	m.sim.ScheduleTransient(air, m.idleFn, src)
 
-	srcPos := m.model.Position(src, now)
-	for i := range m.nodes {
+	m.maybeRefresh()
+	srcPos := m.position(src)
+	m.cand = m.grid.appendCandidates(srcPos, m.cand[:0])
+	for _, c := range m.cand {
+		i := int(c)
 		if i == src || m.nodes[i].rx == nil {
 			continue
 		}
-		d := srcPos.Dist(m.model.Position(i, now))
+		d := srcPos.Dist(m.position(i))
 		if d > m.cfg.CSRange {
 			continue
 		}
-		decodable := d <= m.cfg.Range
-		dst := i
-		rc := &reception{from: src, payload: payload}
-		m.sim.Schedule(m.cfg.PropDelay, func() { m.signalStart(dst, decodable, rc) })
-		m.sim.Schedule(m.cfg.PropDelay+air, func() { m.signalEnd(dst, decodable, rc) })
+		rc := m.newReception(src, i, d <= m.cfg.Range, payload)
+		m.sim.ScheduleTransient(m.cfg.PropDelay, m.startFn, rc)
+		m.sim.ScheduleTransient(m.cfg.PropDelay+air, m.endFn, rc)
 	}
 	return air
 }
 
-func (m *Medium) signalStart(id int, decodable bool, rc *reception) {
-	st := &m.nodes[id]
+func (m *Medium) signalStart(arg any) {
+	rc := arg.(*reception)
+	st := &m.nodes[rc.dst]
 	st.signals++
-	if decodable {
+	if rc.decodable {
 		st.active = append(st.active, rc)
 	}
 	if st.signals > 1 {
@@ -174,16 +278,17 @@ func (m *Medium) signalStart(id int, decodable bool, rc *reception) {
 			}
 		}
 	}
-	if st.txUntil > m.sim.Now() && decodable && !rc.corrupted {
+	if st.txUntil > m.sim.Now() && rc.decodable && !rc.corrupted {
 		rc.corrupted = true
 		m.Corrupted++
 	}
 }
 
-func (m *Medium) signalEnd(id int, decodable bool, rc *reception) {
-	st := &m.nodes[id]
+func (m *Medium) signalEnd(arg any) {
+	rc := arg.(*reception)
+	st := &m.nodes[rc.dst]
 	st.signals--
-	if decodable {
+	if rc.decodable {
 		for i, r := range st.active {
 			if r == rc {
 				st.active = append(st.active[:i], st.active[i+1:]...)
@@ -191,10 +296,14 @@ func (m *Medium) signalEnd(id int, decodable bool, rc *reception) {
 			}
 		}
 		if !rc.corrupted && st.txUntil <= m.sim.Now() && st.rx != nil {
-			st.rx(rc.from, rc.payload)
+			st.rx(int(rc.from), rc.payload)
 		}
 	}
-	m.checkIdle(id)
+	m.checkIdle(int(rc.dst))
+	// The reception's start and end have both fired and it is off every
+	// active list: recycle it.
+	rc.payload = nil
+	m.rcFree = append(m.rcFree, rc)
 }
 
 func (m *Medium) checkIdle(id int) {
@@ -215,23 +324,35 @@ func (m *Medium) checkIdle(id int) {
 // InRange reports whether two nodes are currently within decodable range,
 // a helper for connectivity analysis in tests and the loop checker.
 func (m *Medium) InRange(a, b int) bool {
-	now := m.sim.Now()
-	return m.model.Position(a, now).Dist(m.model.Position(b, now)) <= m.cfg.Range
+	return m.position(a).Dist(m.position(b)) <= m.cfg.Range
 }
 
-// Neighbors returns the nodes currently within decodable range of id.
-// It is an observability helper for analysis tools, not a protocol input.
+// Neighbors returns the nodes currently within decodable range of id, in
+// ascending id order. It is an observability helper for analysis tools,
+// not a protocol input.
 func (m *Medium) Neighbors(id int) []int {
-	now := m.sim.Now()
-	p := m.model.Position(id, now)
-	var out []int
-	for i := range m.nodes {
+	return m.NeighborsAppend(id, nil)
+}
+
+// NeighborsAppend appends the nodes currently within decodable range of
+// id to out (in ascending id order) and returns the extended slice,
+// allowing callers that poll connectivity (loop checkers, topology
+// oracles) to reuse one buffer across calls instead of allocating per
+// query.
+func (m *Medium) NeighborsAppend(id int, out []int) []int {
+	m.maybeRefresh()
+	p := m.position(id)
+	base := len(out)
+	m.cand = m.grid.appendCandidates(p, m.cand[:0])
+	for _, c := range m.cand {
+		i := int(c)
 		if i == id {
 			continue
 		}
-		if p.Dist(m.model.Position(i, now)) <= m.cfg.Range {
+		if p.Dist(m.position(i)) <= m.cfg.Range {
 			out = append(out, i)
 		}
 	}
+	sort.Ints(out[base:])
 	return out
 }

@@ -70,19 +70,29 @@ func TestLDRLoopFreeAtEveryInstant(t *testing.T) {
 }
 
 func TestRunIsDeterministic(t *testing.T) {
-	a, err := scenario.Run(small(scenario.LDR, 11))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := scenario.Run(small(scenario.LDR, 11))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Events != b.Events ||
-		a.Collector.DataDelivered != b.Collector.DataDelivered ||
-		a.Collector.TotalControlTransmitted() != b.Collector.TotalControlTransmitted() {
-		t.Fatalf("same seed diverged: events %d vs %d, delivered %d vs %d",
-			a.Events, b.Events, a.Collector.DataDelivered, b.Collector.DataDelivered)
+	// Every protocol, not just LDR: OLSR once diverged run-to-run because
+	// its BFS next-hop choice leaked Go map iteration order.
+	for _, proto := range []scenario.ProtocolName{
+		scenario.LDR, scenario.AODV, scenario.DSR, scenario.DSR7,
+		scenario.OLSR, scenario.OLSRJ,
+	} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			a, err := scenario.Run(small(proto, 11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := scenario.Run(small(proto, 11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Events != b.Events ||
+				a.Collector.DataDelivered != b.Collector.DataDelivered ||
+				a.Collector.TotalControlTransmitted() != b.Collector.TotalControlTransmitted() {
+				t.Fatalf("same seed diverged: events %d vs %d, delivered %d vs %d",
+					a.Events, b.Events, a.Collector.DataDelivered, b.Collector.DataDelivered)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// White-box tests for the event free list and callback-release semantics.
+
+func TestCancelReleasesCallback(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.Schedule(time.Hour, func() { fired = true })
+	ev.Cancel()
+	if ev.fn != nil || ev.afn != nil || ev.arg != nil {
+		t.Fatal("Cancel left the callback pinned")
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	ev.Cancel() // double-cancel is a no-op
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestFiredEventReleasesCallback(t *testing.T) {
+	s := New()
+	ev := s.Schedule(0, func() {})
+	s.RunAll()
+	if ev.fn != nil {
+		t.Fatal("fired event still pins its closure")
+	}
+}
+
+func TestTransientEventsAreRecycled(t *testing.T) {
+	s := New()
+	calls := 0
+	fn := func(arg any) {
+		if arg != "payload" {
+			t.Fatalf("arg = %v", arg)
+		}
+		calls++
+	}
+	s.ScheduleTransient(0, fn, "payload")
+	s.RunAll()
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if len(s.free) != 1 {
+		t.Fatalf("free list has %d events, want 1", len(s.free))
+	}
+	recycled := s.free[0]
+	if recycled.afn != nil || recycled.arg != nil {
+		t.Fatal("recycled event still pins its callback")
+	}
+	s.ScheduleTransient(0, fn, "payload")
+	if len(s.free) != 0 {
+		t.Fatal("pooled event was not reused")
+	}
+	if s.queue[0] != recycled {
+		t.Fatal("scheduled event is not the pooled one")
+	}
+	s.RunAll()
+	if calls != 2 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestTransientZeroAllocsWhenWarm(t *testing.T) {
+	s := New()
+	fn := func(any) {}
+	s.ScheduleTransient(0, fn, nil)
+	s.RunAll() // warm the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.ScheduleTransient(0, fn, nil)
+		s.RunAll()
+	})
+	if allocs > 0 {
+		t.Fatalf("ScheduleTransient allocates %.1f/op with a warm pool", allocs)
+	}
+}
+
+func TestTransientOrderingMatchesSchedule(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(time.Millisecond, func() { order = append(order, 1) })
+	s.ScheduleTransient(time.Millisecond, func(any) { order = append(order, 2) }, nil)
+	s.Schedule(time.Millisecond, func() { order = append(order, 3) })
+	s.ScheduleTransient(0, func(any) { order = append(order, 0) }, nil)
+	s.RunAll()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("firing order = %v, want scheduling order within an instant", order)
+		}
+	}
+}
+
+func TestTransientNegativeDelayClamped(t *testing.T) {
+	s := New()
+	fired := false
+	s.ScheduleTransient(-time.Second, func(any) { fired = true }, nil)
+	if s.queue.peek().at != 0 {
+		t.Fatal("negative delay not clamped to now")
+	}
+	s.RunAll()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+}

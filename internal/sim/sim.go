@@ -21,19 +21,30 @@ type Event struct {
 	at    time.Duration
 	seq   uint64
 	fn    func()
+	afn   func(any) // argument-style callback used by the transient path
+	arg   any
 	index int        // position in the heap, -1 once removed
 	owner *Simulator // simulator holding the event while queued
+
+	// transient events are pooled: no *Event pointer escapes to callers,
+	// so the struct can be recycled the moment it fires.
+	transient bool
 }
 
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() time.Duration { return e.at }
 
 // Cancel removes the event from the queue. Cancelling an event that has
-// already fired or been cancelled is a no-op.
+// already fired or been cancelled is a no-op. The callback is released so
+// a cancelled event does not pin its closure (and captured payloads)
+// until the Event itself becomes unreachable.
 func (e *Event) Cancel() {
 	if e.index >= 0 && e.owner != nil {
 		heap.Remove(&e.owner.queue, e.index)
 		e.owner = nil
+		e.fn = nil
+		e.afn = nil
+		e.arg = nil
 	}
 }
 
@@ -47,6 +58,7 @@ type Simulator struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+	free   []*Event // recycled transient events
 }
 
 // New returns a simulator with its clock at zero.
@@ -84,6 +96,34 @@ func (s *Simulator) At(t time.Duration, fn func()) *Event {
 	return ev
 }
 
+// ScheduleTransient runs fn(arg) after delay of virtual time, like
+// Schedule, but returns no handle: the event cannot be cancelled or
+// observed. Because no *Event pointer escapes, the simulator recycles the
+// event struct through an internal free list the moment it fires, so
+// high-frequency callers (the radio schedules three of these per frame
+// per receiver) pay no per-call allocation once the pool is warm.
+func (s *Simulator) ScheduleTransient(delay time.Duration, fn func(any), arg any) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = s.now + delay
+	ev.seq = s.seq
+	ev.afn = fn
+	ev.arg = arg
+	ev.owner = s
+	ev.transient = true
+	heap.Push(&s.queue, ev)
+}
+
 // Step executes the next event, advancing the clock. It returns false if
 // the queue is empty or the simulator has been halted.
 func (s *Simulator) Step() bool {
@@ -94,7 +134,19 @@ func (s *Simulator) Step() bool {
 	ev.owner = nil
 	s.now = ev.at
 	s.fired++
-	ev.fn()
+	// Release the callback before invoking it so a fired event does not
+	// pin its closure; transient events go back to the pool immediately
+	// (safe: the callback may only schedule new events, never touch ev).
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	if ev.transient {
+		s.free = append(s.free, ev)
+	}
+	if fn != nil {
+		fn()
+	} else if afn != nil {
+		afn(arg)
+	}
 	return true
 }
 

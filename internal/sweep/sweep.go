@@ -1,0 +1,176 @@
+// Package sweep is a deterministic parallel runner for independent
+// simulation cells.
+//
+// The paper's evaluation is a sweep over hundreds of independent
+// (protocol × node count × flow count × pause time × seed) scenario
+// cells. Each cell owns its entire world — simulator, medium, nodes,
+// RNG streams — so cells are share-nothing and embarrassingly parallel.
+// sweep fans them out across a worker pool of goroutines while keeping
+// every observable output identical to a serial run:
+//
+//   - Results are collected positionally, indexed by the cell's place in
+//     the input, so aggregation and rendering order never depend on
+//     completion order.
+//   - On failure the runner stops claiming new cells, waits for in-flight
+//     cells, and returns the error of the lowest-indexed failing cell —
+//     the same error a serial run would have returned.
+//
+// Workers ≤ 1 degenerates to a plain serial loop with no goroutines.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+// Options control a sweep.
+type Options struct {
+	// Workers is the number of concurrent cells. Zero or negative selects
+	// GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is updated as cells start and finish. It
+	// may be read concurrently from other goroutines (e.g. a status
+	// ticker).
+	Progress *Progress
+}
+
+// workers resolves the worker count for n cells.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Progress exposes live counters for a running sweep. All methods are
+// safe for concurrent use.
+type Progress struct {
+	total   atomic.Int64
+	started atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+}
+
+// Total returns the number of cells in the sweep.
+func (p *Progress) Total() int { return int(p.total.Load()) }
+
+// Started returns the number of cells claimed by workers so far.
+func (p *Progress) Started() int { return int(p.started.Load()) }
+
+// Done returns the number of cells finished (successfully or not).
+func (p *Progress) Done() int { return int(p.done.Load()) }
+
+// Failed returns the number of cells that returned an error.
+func (p *Progress) Failed() int { return int(p.failed.Load()) }
+
+// Each runs fn(i) for every i in [0, n) across a pool of workers and
+// returns the error of the lowest-indexed failing call, or nil. After the
+// first failure no new indices are claimed; indices are claimed in
+// ascending order, so the returned error is deterministic for
+// deterministic fn. fn must not share mutable state across indices
+// except through distinct, per-index slots (e.g. out[i] = ...).
+func Each(n int, opt Options, fn func(i int) error) error {
+	if opt.Progress != nil {
+		opt.Progress.total.Store(int64(n))
+	}
+	if n == 0 {
+		return nil
+	}
+	workers := opt.workers(n)
+	if workers == 1 {
+		return eachSerial(n, opt, fn)
+	}
+
+	var (
+		next atomic.Int64 // next unclaimed index
+		stop atomic.Bool  // set on first failure
+
+		mu       sync.Mutex
+		firstErr error
+		errIndex int = -1
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if opt.Progress != nil {
+					opt.Progress.started.Add(1)
+				}
+				err := fn(i)
+				if opt.Progress != nil {
+					if err != nil {
+						opt.Progress.failed.Add(1)
+					}
+					opt.Progress.done.Add(1)
+				}
+				if err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if errIndex == -1 || i < errIndex {
+						errIndex, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func eachSerial(n int, opt Options, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if opt.Progress != nil {
+			opt.Progress.started.Add(1)
+		}
+		err := fn(i)
+		if opt.Progress != nil {
+			if err != nil {
+				opt.Progress.failed.Add(1)
+			}
+			opt.Progress.done.Add(1)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes every scenario configuration and returns the results in
+// input order, regardless of completion order. On error the slice is nil
+// and the error is that of the lowest-indexed failing cell.
+func Run(cfgs []scenario.Config, opt Options) ([]scenario.Result, error) {
+	out := make([]scenario.Result, len(cfgs))
+	err := Each(len(cfgs), opt, func(i int) error {
+		res, err := scenario.Run(cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
