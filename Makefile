@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race bench bench-all examples experiments clean
+.PHONY: all check build test vet race chaos bench bench-chaos bench-all examples experiments clean
 
 all: check
 
@@ -22,6 +22,20 @@ test:
 # single-core boxes, where the race detector's slowdown is at its worst.
 race:
 	$(GO) test -race -timeout 60m ./internal/sweep/ ./internal/experiments/ ./internal/scenario/
+
+# The fault-injection suite under the race detector: the van Glabbeek
+# loop reproduction, the per-profile LDR invariant properties, and the
+# chaos sweep's worker-count determinism.
+chaos:
+	$(GO) test -race -timeout 60m ./internal/fault/ -run .
+	$(GO) test -race -timeout 60m ./internal/experiments/ -run Chaos
+
+# Audit-hook overhead on the 50-node scenario (the <10% acceptance bar),
+# recorded as BENCH_chaos.json.
+bench-chaos:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench AuditOverhead -benchtime 3x \
+		./internal/fault/ | tee /dev/stderr | /tmp/benchjson -o BENCH_chaos.json
 
 # Sweep + radio hot-path benchmarks, recorded as BENCH_sweep.json
 # (events/sec, cells/sec, ns/op, allocs/op per benchmark).

@@ -9,12 +9,17 @@
 // With -trials N (N > 1) the same scenario is run across seeds
 // seed..seed+N-1, fanned out over -workers goroutines, and reported as
 // one line per seed plus a mean ± 95% CI summary.
+//
+// Flags are validated before anything runs: nonsensical values
+// (-trials 0, -workers -1, zero nodes, an unknown protocol) are rejected
+// with a clear error rather than silently misbehaving.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/manetlab/ldr/internal/mobility"
@@ -33,18 +38,54 @@ func main() {
 func run() error {
 	var (
 		proto   = flag.String("proto", "ldr", "routing protocol: ldr|aodv|dsr|dsr7|olsr|olsr-nojitter")
-		nodes   = flag.Int("nodes", 50, "number of nodes")
+		nodes   = flag.Int("nodes", 50, "number of nodes (≥ 2)")
 		width   = flag.Float64("width", 1500, "terrain width (m)")
 		height  = flag.Float64("height", 300, "terrain height (m)")
-		flows   = flag.Int("flows", 10, "concurrent CBR flows")
+		flows   = flag.Int("flows", 10, "concurrent CBR flows (≥ 1)")
 		pause   = flag.Duration("pause", 60*time.Second, "random-waypoint pause time")
 		speed   = flag.Float64("maxspeed", 20, "maximum node speed (m/s)")
-		simTime = flag.Duration("simtime", 300*time.Second, "simulated duration")
+		simTime = flag.Duration("simtime", 300*time.Second, "simulated duration (> 0)")
 		seed    = flag.Int64("seed", 1, "random seed")
-		trials  = flag.Int("trials", 1, "number of seeds to run (seed..seed+trials-1)")
-		workers = flag.Int("workers", 0, "concurrent runs when trials > 1; 0 = GOMAXPROCS")
+		trials  = flag.Int("trials", 1, "number of seeds to run, seed..seed+trials-1 (≥ 1)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent runs when trials > 1 (≥ 1; results are identical at any setting)")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "usage: ldrsim [flags]\n\n")
+		fmt.Fprintf(w, "Run one ad hoc network simulation (or -trials seeds of it) and print\n")
+		fmt.Fprintf(w, "its metrics. cmd/ldrbench regenerates the paper's tables; cmd/ldrchaos\n")
+		fmt.Fprintf(w, "runs the fault-injection suite.\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(w, "\nExamples:\n")
+		fmt.Fprintf(w, "  ldrsim -proto ldr -nodes 50 -flows 10 -pause 60s -simtime 300s -seed 1\n")
+		fmt.Fprintf(w, "  ldrsim -proto aodv -trials 10 -workers 4\n")
+	}
 	flag.Parse()
+
+	if *trials < 1 {
+		return fmt.Errorf("-trials must be at least 1 (got %d)", *trials)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1 (got %d)", *workers)
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("-nodes must be at least 2 (got %d)", *nodes)
+	}
+	if *flows < 1 {
+		return fmt.Errorf("-flows must be at least 1 (got %d)", *flows)
+	}
+	if *simTime <= 0 {
+		return fmt.Errorf("-simtime must be positive (got %v)", *simTime)
+	}
+	if *width <= 0 || *height <= 0 {
+		return fmt.Errorf("terrain must be positive (got %.0f x %.0f m)", *width, *height)
+	}
+	if *pause < 0 {
+		return fmt.Errorf("-pause must not be negative (got %v)", *pause)
+	}
+	if *speed <= 0 {
+		return fmt.Errorf("-maxspeed must be positive (got %.1f)", *speed)
+	}
 
 	cfg := scenario.Config{
 		Protocol:  scenario.ProtocolName(*proto),

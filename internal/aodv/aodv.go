@@ -174,6 +174,8 @@ type AODV struct {
 var (
 	_ routing.Protocol         = (*AODV)(nil)
 	_ routing.TableSnapshotter = (*AODV)(nil)
+	_ routing.TableAppender    = (*AODV)(nil)
+	_ routing.Resetter         = (*AODV)(nil)
 )
 
 // New builds an AODV instance bound to a node.
@@ -208,6 +210,40 @@ func (a *AODV) Stop() {
 	if a.helloTimer != nil {
 		a.helloTimer.Cancel()
 	}
+}
+
+// Reset implements routing.Resetter: a crash loses everything, including
+// the node's own sequence number — draft-10 AODV keeps it in volatile
+// memory, and this loss is the premise of the van Glabbeek et al. loop
+// construction ("Sequence Numbers Do Not Guarantee Loop Freedom"): the
+// rebooted node must solicit with UnknownSeq set, so a neighbor holding a
+// stale route *through* it may answer and close a cycle. Only nextReqID
+// survives, as a stand-in for the randomized RREQ ID real implementations
+// pick at boot; keeping it monotone stops neighbors' reqSeen caches from
+// eating the first post-reboot discovery, which is a simulation artifact
+// rather than protocol behaviour.
+func (a *AODV) Reset() {
+	for _, d := range a.active {
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+	}
+	if a.helloTimer != nil {
+		a.helloTimer.Cancel()
+		a.helloTimer = nil
+	}
+	for _, q := range a.pending {
+		for _, pkt := range q {
+			a.node.DropData(pkt)
+		}
+	}
+	a.ownSeq = 0
+	a.routes = make(map[routing.NodeID]*entry)
+	a.reqSeen = make(map[reqKey]time.Duration)
+	a.pending = make(map[routing.NodeID][]*routing.DataPacket)
+	a.active = make(map[routing.NodeID]*discovery)
+	a.lastHeard = make(map[routing.NodeID]time.Duration)
+	a.repairing = make(map[routing.NodeID]bool)
 }
 
 // --- data plane ---
@@ -654,8 +690,12 @@ func (e *entry) precursor(n routing.NodeID) {
 
 // SnapshotTable implements routing.TableSnapshotter.
 func (a *AODV) SnapshotTable() []routing.RouteEntry {
+	return a.AppendTable(make([]routing.RouteEntry, 0, len(a.routes)))
+}
+
+// AppendTable implements routing.TableAppender.
+func (a *AODV) AppendTable(out []routing.RouteEntry) []routing.RouteEntry {
 	now := a.node.Now()
-	out := make([]routing.RouteEntry, 0, len(a.routes))
 	for dst, e := range a.routes {
 		out = append(out, routing.RouteEntry{
 			Dst:    dst,

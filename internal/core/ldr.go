@@ -121,6 +121,8 @@ type LDR struct {
 var (
 	_ routing.Protocol         = (*LDR)(nil)
 	_ routing.TableSnapshotter = (*LDR)(nil)
+	_ routing.TableAppender    = (*LDR)(nil)
+	_ routing.Resetter         = (*LDR)(nil)
 )
 
 // New builds an LDR instance bound to a node.
@@ -148,6 +150,45 @@ func (l *LDR) Stop() {
 			d.timer.Cancel()
 		}
 	}
+}
+
+// Reset implements routing.Resetter: a crash discards everything volatile
+// — successors, alternates, the engaged-computation cache, buffered data,
+// and every active discovery — but persists the label store: the node's
+// own sequence number AND the (sn, fd) labels of every known destination.
+// §5 of the paper keeps the own number in stable storage (its timestamp
+// component makes even that cheap: a reboot with a fresh counter and a
+// newer timestamp still compares higher), and the per-destination labels
+// belong there with it, because they ARE the loop-freedom invariant:
+// neighbors that chose this node as successor did so against its old
+// labels, and a relay that re-learned routes from scratch could accept an
+// equal-sequence-number route whose feasible distance has regressed —
+// under lossy channels (where the request-as-error RREQ can miss the
+// upstream node) that regression re-creates exactly the post-reboot loop
+// AODV exhibits (see internal/fault). Keeping the labels makes every
+// post-reboot acceptance pass NDC against pre-crash state, so the global
+// ordering criterion survives the crash. nextReqID also survives: request
+// IDs need only be unique per origin, and reusing pre-crash IDs would
+// collide with neighbors' engaged-computation caches for up to the RREQ
+// cache lifetime.
+func (l *LDR) Reset() {
+	for _, d := range l.active {
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+	}
+	for _, q := range l.pending {
+		for _, pkt := range q {
+			l.node.DropData(pkt)
+		}
+	}
+	for _, e := range l.routes {
+		e.invalidate()
+		e.alts = nil
+	}
+	l.reqSeen = make(map[reqKey]*reqState)
+	l.pending = make(map[routing.NodeID][]*routing.DataPacket)
+	l.active = make(map[routing.NodeID]*discovery)
 }
 
 // OwnSeq exposes the node's own sequence number (for tests and Fig. 7).
@@ -758,8 +799,12 @@ func (l *LDR) expireReq(key reqKey) {
 
 // SnapshotTable implements routing.TableSnapshotter.
 func (l *LDR) SnapshotTable() []routing.RouteEntry {
+	return l.AppendTable(make([]routing.RouteEntry, 0, len(l.routes)))
+}
+
+// AppendTable implements routing.TableAppender.
+func (l *LDR) AppendTable(out []routing.RouteEntry) []routing.RouteEntry {
 	now := l.node.Now()
-	out := make([]routing.RouteEntry, 0, len(l.routes))
 	for dst, e := range l.routes {
 		out = append(out, routing.RouteEntry{
 			Dst:    dst,

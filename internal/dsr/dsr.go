@@ -142,7 +142,10 @@ type DSR struct {
 	stopped   bool
 }
 
-var _ routing.Protocol = (*DSR)(nil)
+var (
+	_ routing.Protocol = (*DSR)(nil)
+	_ routing.Resetter = (*DSR)(nil)
+)
 
 // New builds a DSR instance bound to a node.
 func New(node *routing.Node, cfg Config) *DSR {
@@ -196,6 +199,29 @@ func (d *DSR) Stop() {
 			disc.timer.Cancel()
 		}
 	}
+}
+
+// Reset implements routing.Resetter: a crash empties the route cache,
+// the duplicate-request memory, buffered data, and active discoveries.
+// DSR keeps no sequence numbers, so nothing needs stable storage; only
+// nextReqID survives (see the note on AODV's Reset). Stale delete
+// closures scheduled against the old reqSeen map fire harmlessly against
+// the fresh one.
+func (d *DSR) Reset() {
+	for _, disc := range d.active {
+		if disc.timer != nil {
+			disc.timer.Cancel()
+		}
+	}
+	for _, q := range d.pending {
+		for _, pkt := range q {
+			d.node.DropData(pkt)
+		}
+	}
+	d.cache = newPathCache(d.node.ID(), d.cfg.CacheCapacity, d.cfg.CacheLifetime)
+	d.reqSeen = make(map[reqKey]struct{})
+	d.pending = make(map[routing.NodeID][]*routing.DataPacket)
+	d.active = make(map[routing.NodeID]*discovery)
 }
 
 // --- data plane ---

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/ldr/internal/fault"
+	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/stats"
+	"github.com/manetlab/ldr/internal/sweep"
+)
+
+// chaosMetrics is the per-run measurement vector for the Chaos table:
+// the usual performance pair plus everything the fault instruments saw.
+type chaosMetrics struct {
+	delivery float64 // %
+	netLoad  float64 // control pkts per delivered data pkt
+	loops    uint64  // successor-graph cycles flagged by the auditor
+	ordering uint64  // (seq, fd) ordering-criterion breaches
+	audits   uint64  // table-snapshot sweeps taken
+	crashes  int     // node crashes the injector executed
+}
+
+func chaosRun(cfg scenario.Config) (chaosMetrics, error) {
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return chaosMetrics{}, err
+	}
+	c := res.Collector
+	return chaosMetrics{
+		delivery: 100 * c.DeliveryRatio(),
+		netLoad:  c.NetworkLoad(),
+		loops:    c.LoopViolations,
+		ordering: c.OrderingViolations,
+		audits:   c.AuditSnapshots,
+		crashes:  res.Faults.Crashes,
+	}, nil
+}
+
+// Chaos runs the fault-injection comparison: every protocol under every
+// fault profile, at the two pause-time extremes (0 = constant motion,
+// SimTime = static), with the continuous loopcheck auditor scoring loop
+// and ordering violations throughout. This is the regime of the van
+// Glabbeek et al. AODV-loop construction: under the reboot profiles AODV
+// accumulates loop counts while LDR — whose destinations persist their
+// own sequence numbers and whose labels enforce the ordering criterion —
+// stays at zero. DSR is source-routed (no distributed next-hop tables to
+// loop), so its violation columns are structurally zero; OLSR's are
+// transient artifacts of link-state convergence.
+//
+// Cells fan out across Options.Workers via the PR-1 worker pool and are
+// aggregated in enumeration order, so the rendered table is
+// byte-identical at any worker count.
+func Chaos(o Options) error {
+	o = o.Defaults()
+	pauses := []time.Duration{0, o.SimTime}
+
+	type cellKey struct {
+		profile string
+		pause   time.Duration
+		proto   scenario.ProtocolName
+	}
+	var cfgs []scenario.Config
+	var keys []cellKey
+	for _, profile := range o.FaultProfiles {
+		plan, err := fault.Profile(profile, 50, o.SimTime)
+		if err != nil {
+			return err
+		}
+		for _, pause := range pauses {
+			for _, proto := range o.Protocols {
+				keys = append(keys, cellKey{profile, pause, proto})
+				for _, seed := range o.trialSeeds() {
+					cfg := scenario.Nodes50(proto, 10, pause, seed)
+					cfg.SimTime = o.SimTime
+					cfg.FaultPlan = &plan
+					cfg.AuditCadence = o.AuditCadence
+					cfgs = append(cfgs, cfg)
+				}
+			}
+		}
+	}
+
+	ms := make([]chaosMetrics, len(cfgs))
+	err := sweep.Each(len(cfgs), o.sweepOptions(), func(i int) error {
+		m, err := chaosRun(cfgs[i])
+		if err != nil {
+			return err
+		}
+		ms[i] = m
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	idx := 0
+	lastProfile := ""
+	for _, k := range keys {
+		if k.profile != lastProfile {
+			lastProfile = k.profile
+			fmt.Fprintf(o.Out, "\nChaos — profile %s (50 nodes, 10 flows, %v sim, audit every %v, %d trials)\n",
+				k.profile, o.SimTime, o.AuditCadence, o.Trials)
+			fmt.Fprintf(o.Out, "%-8s %8s %16s %12s %8s %8s %8s %8s\n",
+				"proto", "pause_s", "delivery %", "net load", "loops", "order", "audits", "crashes")
+		}
+		agg := chaosMetrics{}
+		var delivery, netLoad []float64
+		for t := 0; t < o.Trials; t++ {
+			m := ms[idx]
+			idx++
+			delivery = append(delivery, m.delivery)
+			netLoad = append(netLoad, m.netLoad)
+			agg.loops += m.loops
+			agg.ordering += m.ordering
+			agg.audits += m.audits
+			agg.crashes += m.crashes
+		}
+		fmt.Fprintf(o.Out, "%-8s %8.0f %s %12.3f %8d %8d %8d %8d\n",
+			k.proto, k.pause.Seconds(), ciOf(delivery), mean(netLoad),
+			agg.loops, agg.ordering, agg.audits, agg.crashes)
+	}
+	return nil
+}
+
+func ciOf(xs []float64) string {
+	return ci(stats.Summarize(xs))
+}
+
+func mean(xs []float64) float64 {
+	return stats.Summarize(xs).Mean
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/manetlab/ldr/internal/fault"
 	"github.com/manetlab/ldr/internal/scenario"
 	"github.com/manetlab/ldr/internal/stats"
 	"github.com/manetlab/ldr/internal/sweep"
@@ -36,6 +37,14 @@ type Options struct {
 	// Zero selects GOMAXPROCS; 1 forces the serial path. Output is
 	// byte-identical at every setting.
 	Workers int
+
+	// FaultProfiles selects the fault profiles the Chaos experiment
+	// sweeps (nil = all built-ins, see fault.ProfileNames).
+	FaultProfiles []string
+
+	// AuditCadence is the continuous-audit snapshot period used by the
+	// Chaos experiment; zero selects 100 ms.
+	AuditCadence time.Duration
 
 	// Progress, when non-nil, receives live cell counters for the sweep
 	// currently running (see sweep.Progress).
@@ -58,6 +67,12 @@ func (o Options) Defaults() Options {
 	}
 	if len(o.Protocols) == 0 {
 		o.Protocols = scenario.AllProtocols
+	}
+	if len(o.FaultProfiles) == 0 {
+		o.FaultProfiles = fault.ProfileNames()
+	}
+	if o.AuditCadence == 0 {
+		o.AuditCadence = 100 * time.Millisecond
 	}
 	return o
 }

@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/loopcheck"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// AuditConfig parameterizes the continuous invariant auditor.
+type AuditConfig struct {
+	// Cadence is the virtual-time period between table snapshots.
+	// Zero selects 100 ms — fine enough to catch the transient loops
+	// that matter (they persist for seconds once formed) while keeping
+	// the audit itself a small fraction of run cost.
+	Cadence time.Duration
+	// Start is the first snapshot instant; zero selects one Cadence in.
+	Start time.Duration
+	// Until is the last instant a snapshot may fire (required: it bounds
+	// the self-rescheduling chain so the auditor cannot keep a drained
+	// event queue alive).
+	Until time.Duration
+	// MaxRecords caps the retained violation samples (counters are
+	// always exact). Zero selects 16.
+	MaxRecords int
+}
+
+// Record is one retained violation sample with its detection time.
+type Record struct {
+	At time.Duration
+	V  loopcheck.Violation
+}
+
+// Auditor snapshots every routing table on a virtual-time cadence and
+// scores violations into the network's metrics collector: each detected
+// successor-graph cycle increments LoopViolations, each broken
+// (seq, fd) ordering edge increments OrderingViolations, and every sweep
+// increments AuditSnapshots. The first MaxRecords violations are kept
+// verbatim for diagnosis. The underlying loopcheck.Checker reuses its
+// buffers, so a clean sweep allocates nothing once warm.
+type Auditor struct {
+	nw      *routing.Network
+	cfg     AuditConfig
+	checker *loopcheck.Checker
+
+	// Records holds the first violations seen, in detection order.
+	Records []Record
+}
+
+// NewAuditor builds an auditor for the network. Call Start before the
+// simulation runs, or drive it manually with CheckNow.
+func NewAuditor(nw *routing.Network, cfg AuditConfig) *Auditor {
+	if cfg.Cadence <= 0 {
+		cfg.Cadence = 100 * time.Millisecond
+	}
+	if cfg.Start <= 0 {
+		cfg.Start = cfg.Cadence
+	}
+	if cfg.MaxRecords <= 0 {
+		cfg.MaxRecords = 16
+	}
+	return &Auditor{nw: nw, cfg: cfg, checker: loopcheck.NewChecker()}
+}
+
+// Start schedules the periodic sweeps up to cfg.Until.
+func (a *Auditor) Start() {
+	a.nw.Sim.Every(a.cfg.Start, a.cfg.Cadence, a.cfg.Until, func() { a.CheckNow() })
+}
+
+// CheckNow runs one sweep immediately and returns the number of
+// violations it found.
+func (a *Auditor) CheckNow() int {
+	col := a.nw.Collector
+	col.AuditSnapshots++
+	vs := a.checker.Check(a.nw.Nodes)
+	for _, v := range vs {
+		if len(v.Cycle) > 0 {
+			col.LoopViolations++
+		} else {
+			col.OrderingViolations++
+		}
+		if len(a.Records) < a.cfg.MaxRecords {
+			a.Records = append(a.Records, Record{At: a.nw.Sim.Now(), V: v})
+		}
+	}
+	return len(vs)
+}

@@ -1,0 +1,197 @@
+package fault_test
+
+// Property tests for the fault subsystem at large: every protocol must
+// survive every built-in fault profile over a fixed seed matrix, LDR
+// must come out with a spotless audit, repeated runs must be bit-equal,
+// and the audit machinery itself must stay allocation-bounded.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/fault"
+	"github.com/manetlab/ldr/internal/loopcheck"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+// chaosConfig is the reduced-scale scenario the property tests run:
+// small enough that the full profile × seed matrix finishes in seconds,
+// dense enough (25 nodes on 1000 m × 300 m) that routes have real
+// multi-hop structure to corrupt.
+func chaosConfig(proto scenario.ProtocolName, seed int64, plan *fault.Plan) scenario.Config {
+	return scenario.Config{
+		Protocol:     proto,
+		Nodes:        25,
+		Terrain:      mobility.Terrain{Width: 1000, Height: 300},
+		Flows:        5,
+		PauseTime:    0,
+		MinSpeed:     1,
+		MaxSpeed:     20,
+		SimTime:      30 * time.Second,
+		Seed:         seed,
+		FaultPlan:    plan,
+		AuditCadence: 50 * time.Millisecond,
+	}
+}
+
+// TestChaosLDRCleanUnderEveryProfile is the headline property from the
+// paper's Theorem 2: whatever the fault schedule does — crash/reboot
+// cycles, link flaps, partitions, lossy delivery, or all four at once —
+// LDR's successor graphs stay loop-free and its (seq, fd) labels keep
+// the ordering criterion, at every audited instant of every seed.
+func TestChaosLDRCleanUnderEveryProfile(t *testing.T) {
+	for _, profile := range fault.ProfileNames() {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", profile, seed), func(t *testing.T) {
+				plan, err := fault.Profile(profile, 25, 30*time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := scenario.Run(chaosConfig(scenario.LDR, seed, &plan))
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := res.Collector
+				if c.LoopViolations != 0 || c.OrderingViolations != 0 {
+					t.Errorf("LDR violated invariants: loops=%d ordering=%d (first: %v)",
+						c.LoopViolations, c.OrderingViolations, res.Violations)
+				}
+				if c.AuditSnapshots == 0 {
+					t.Error("auditor never ran")
+				}
+				switch profile {
+				case "reboot", "mayhem":
+					if res.Faults.Crashes == 0 {
+						t.Errorf("profile %s executed no crashes: %+v", profile, res.Faults)
+					}
+				case "flap":
+					if res.Faults.LinkOutages == 0 {
+						t.Errorf("profile flap severed no links: %+v", res.Faults)
+					}
+				case "partition":
+					if res.Faults.Partitions == 0 {
+						t.Errorf("profile partition never split the network: %+v", res.Faults)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosEveryProtocolSurvives runs the comparison protocols through
+// the harshest profiles. No invariant claim is made for them — AODV is
+// *expected* to loop under reboot — but the runs must complete, deliver
+// data, and keep the injector and auditor accounting coherent.
+func TestChaosEveryProtocolSurvives(t *testing.T) {
+	for _, proto := range scenario.AllProtocols {
+		for _, profile := range []string{"reboot", "mayhem"} {
+			for seed := int64(1); seed <= 2; seed++ {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", proto, profile, seed), func(t *testing.T) {
+					plan, err := fault.Profile(profile, 25, 30*time.Second)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := scenario.Run(chaosConfig(proto, seed, &plan))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Collector.DataDelivered == 0 {
+						t.Errorf("%s delivered nothing under %s", proto, profile)
+					}
+					if res.Faults.Crashes == 0 || res.Faults.Reboots != res.Faults.Crashes {
+						t.Errorf("incoherent injector accounting: %+v", res.Faults)
+					}
+					if res.Collector.AuditSnapshots == 0 {
+						t.Error("auditor never ran")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosRunsAreDeterministic re-runs one mayhem cell and requires the
+// two results to agree on every counter the chaos table reports. The
+// injector draws from its own split of the seed, so this also pins down
+// that fault scheduling, delivery faults, and audit cadence are all on
+// virtual time, never wall clock.
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	fingerprint := func() string {
+		plan, err := fault.Profile("mayhem", 25, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := scenario.Run(chaosConfig(scenario.AODV, 7, &plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Collector
+		return fmt.Sprintf("init=%d deliv=%d tx=%d drop=%d ctrl=%d lat=%v audits=%d loops=%d ord=%d faults=%+v events=%d",
+			c.DataInitiated, c.DataDelivered, c.DataTransmitted, c.DataDropped,
+			c.TotalControlTransmitted(), c.MeanLatency(), c.AuditSnapshots,
+			c.LoopViolations, c.OrderingViolations, res.Faults, res.Events)
+	}
+	a, b := fingerprint(), fingerprint()
+	if a != b {
+		t.Fatalf("same config, different runs:\n  %s\n  %s", a, b)
+	}
+}
+
+// TestAuditAllocationBounded pins the cost of a warm audit sweep: once
+// the checker's buffers have sized themselves to the network, a full
+// snapshot-and-verify pass over a live 25-node LDR scenario must not
+// allocate. This is what makes a 10–20 ms audit cadence affordable
+// inside a 900-second run.
+func TestAuditAllocationBounded(t *testing.T) {
+	nw, gen, err := scenario.Build(chaosConfig(scenario.LDR, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	gen.Start()
+	nw.Sim.Run(10 * time.Second) // populate routing tables mid-flight
+	defer nw.Stop()
+
+	ck := loopcheck.NewChecker()
+	if vs := ck.Check(nw.Nodes); len(vs) != 0 { // warm + sanity
+		t.Fatalf("live LDR tables violate invariants: %v", vs)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		ck.Check(nw.Nodes)
+	})
+	if avg > 0 {
+		t.Errorf("warm audit sweep allocates %.1f times per pass, want 0", avg)
+	}
+}
+
+// BenchmarkAuditOverhead measures what continuous auditing costs: the
+// paper-scale 50-node scenario run twice per iteration, without and with
+// a 100 ms audit cadence, reporting the wall-clock overhead percentage
+// as a custom metric (the acceptance bar is < 10%).
+func BenchmarkAuditOverhead(b *testing.B) {
+	base := scenario.Nodes50(scenario.LDR, 10, 0, 1)
+	base.SimTime = 30 * time.Second
+
+	runOnce := func(cadence time.Duration) time.Duration {
+		cfg := base
+		cfg.AuditCadence = cadence
+		start := time.Now()
+		if _, err := scenario.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	var plain, audited time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plain += runOnce(0)
+		audited += runOnce(100 * time.Millisecond)
+	}
+	b.StopTimer()
+	overhead := 100 * (float64(audited) - float64(plain)) / float64(plain)
+	b.ReportMetric(overhead, "audit-overhead-%")
+	b.ReportMetric(float64(audited)/float64(b.N)/1e6, "audited-ms/run")
+}

@@ -1,0 +1,300 @@
+// Package fault injects deterministic faults into a running simulation
+// and audits routing invariants while they happen.
+//
+// The LDR paper's central claim — that (sequence number, feasible
+// distance) labels keep the successor graph loop-free at every instant —
+// only earns its keep in the adversarial regime the benign mobility
+// scenarios never reach: nodes crashing and rebooting with their
+// volatile state gone, links blacking out, the network partitioning, and
+// frames being lost or duplicated in flight. Van Glabbeek et al.
+// ("Sequence Numbers Do Not Guarantee Loop Freedom — AODV Can Yield
+// Routing Loops") show AODV forms persistent routing loops exactly
+// there, when a rebooted node has lost its own sequence number. This
+// package makes that regime a first-class scenario ingredient:
+//
+//   - an Injector executes a declarative Plan of timed or periodic fault
+//     Specs — crash/reboot, link blackout, partition/heal, and
+//     message-level drop/duplicate/delay at the radio boundary;
+//   - an Auditor snapshots every routing table on a virtual-time cadence
+//     via internal/loopcheck and records loop and ordering violations
+//     into the run's metrics collector.
+//
+// Determinism: the injector draws from its own splittable RNG stream
+// (conventionally root.Split("fault")), with a sub-stream per Spec, so a
+// plan neither perturbs the mobility/traffic/MAC streams nor depends on
+// them; every fault lands at the same virtual instant with the same
+// victims on every run of the same seed, at any sweep worker count.
+package fault
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// Kind selects a fault mechanism.
+type Kind int
+
+// The four fault mechanisms.
+const (
+	// Crash powers victim nodes off, wipes their MAC and volatile
+	// protocol state (routing.Resetter), and reboots them Duration later
+	// via the protocol's Start. What survives the wipe is the protocol's
+	// decision: LDR persists its own sequence number, AODV loses it.
+	Crash Kind = iota + 1
+	// LinkFlap severs the radio link between node pairs for Duration.
+	LinkFlap
+	// Partition splits the nodes into two cells chosen at random for
+	// Duration; no signal crosses the cut.
+	Partition
+	// Lossy enables message-level drop/duplicate/delay at the radio
+	// delivery boundary for Duration.
+	Lossy
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case LinkFlap:
+		return "linkflap"
+	case Partition:
+		return "partition"
+	case Lossy:
+		return "lossy"
+	default:
+		return "fault(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Spec is one timed fault. At is the first injection instant; a positive
+// Every repeats the injection periodically until the plan horizon.
+// Duration is how long each injection holds before recovery (crash →
+// reboot, blackout → heal); zero selects a per-kind default and a
+// negative Duration makes the fault permanent. Victims are either the
+// explicit Nodes list (for Crash: node IDs; for LinkFlap: consecutive
+// pairs) or Count random picks per injection.
+type Spec struct {
+	Kind     Kind
+	At       time.Duration
+	Every    time.Duration
+	Duration time.Duration
+	Nodes    []int
+	Count    int
+
+	// Lossy parameters; see radio.SetDeliveryFaults.
+	Drop     float64
+	Dup      float64
+	DelayMax time.Duration
+}
+
+// Plan is a named, declarative fault schedule.
+type Plan struct {
+	Name  string
+	Specs []Spec
+}
+
+// defaultHold is the per-kind recovery delay when Spec.Duration is zero.
+func (s Spec) defaultHold() time.Duration {
+	switch s.Kind {
+	case Crash:
+		return 250 * time.Millisecond
+	case LinkFlap:
+		return 500 * time.Millisecond
+	case Partition:
+		return time.Second
+	default:
+		return time.Second
+	}
+}
+
+// Stats counts injector activity over a run.
+type Stats struct {
+	Crashes      int
+	Reboots      int
+	LinkOutages  int
+	LinkHeals    int
+	Partitions   int
+	PartHeals    int
+	LossyWindows int
+}
+
+// Injector executes a Plan against a network. Create one per run with
+// NewInjector and call Start before the simulation begins; everything
+// after that happens inside simulator events.
+type Injector struct {
+	nw    *routing.Network
+	plan  Plan
+	until time.Duration
+	src   *rng.Source
+
+	// Stats accumulates what was actually injected.
+	Stats Stats
+}
+
+// NewInjector binds a plan to a network. src must be a dedicated stream
+// (conventionally root.Split("fault")); until bounds periodic specs so
+// the injector cannot keep an otherwise-drained event queue alive.
+func NewInjector(nw *routing.Network, plan Plan, src *rng.Source, until time.Duration) *Injector {
+	return &Injector{nw: nw, plan: plan, until: until, src: src}
+}
+
+// Start schedules every spec in the plan. Each spec gets its own RNG
+// sub-stream, so specs are independent: editing one never shifts the
+// victims another picks.
+func (in *Injector) Start() {
+	for i, spec := range in.plan.Specs {
+		spec := spec
+		stream := in.src.Split("spec" + strconv.Itoa(i))
+		fire := func() { in.inject(spec, stream) }
+		if spec.Every > 0 {
+			in.nw.Sim.Every(spec.At, spec.Every, in.until, fire)
+		} else if spec.At <= in.until {
+			in.nw.Sim.At(spec.At, fire)
+		}
+	}
+}
+
+func (in *Injector) inject(spec Spec, stream *rng.Source) {
+	switch spec.Kind {
+	case Crash:
+		in.crash(spec, stream)
+	case LinkFlap:
+		in.flap(spec, stream)
+	case Partition:
+		in.partition(spec, stream)
+	case Lossy:
+		in.lossy(spec, stream)
+	}
+}
+
+// victims resolves a spec's targets: the explicit list, or Count random
+// distinct nodes (drawn even when unused, so the stream position does not
+// depend on network state).
+func (in *Injector) victims(spec Spec, stream *rng.Source) []int {
+	if len(spec.Nodes) > 0 {
+		return spec.Nodes
+	}
+	count := spec.Count
+	if count <= 0 {
+		count = 1
+	}
+	if n := len(in.nw.Nodes); count > n {
+		count = n
+	}
+	return stream.Perm(len(in.nw.Nodes))[:count]
+}
+
+// crash power-cycles the victims. A node already down (an overlapping
+// crash window) is left to its pending reboot.
+func (in *Injector) crash(spec Spec, stream *rng.Source) {
+	hold := spec.Duration
+	if hold == 0 {
+		hold = spec.defaultHold()
+	}
+	for _, id := range in.victims(spec, stream) {
+		node := in.nw.Nodes[id]
+		if node.Down() {
+			continue
+		}
+		node.SetDown(true)
+		node.MAC().Reset()
+		if r, ok := node.Protocol().(routing.Resetter); ok {
+			r.Reset()
+		}
+		in.Stats.Crashes++
+		if hold < 0 {
+			continue // fail-stop: the node never comes back
+		}
+		in.nw.Sim.Schedule(hold, func() {
+			node.SetDown(false)
+			node.Protocol().Start()
+			in.Stats.Reboots++
+		})
+	}
+}
+
+// flap severs links: the explicit Nodes pairs, or Count random pairs.
+func (in *Injector) flap(spec Spec, stream *rng.Source) {
+	hold := spec.Duration
+	if hold == 0 {
+		hold = spec.defaultHold()
+	}
+	if len(spec.Nodes) >= 2 {
+		for i := 0; i+1 < len(spec.Nodes); i += 2 {
+			in.outage(spec.Nodes[i], spec.Nodes[i+1], hold)
+		}
+		return
+	}
+	count := spec.Count
+	if count <= 0 {
+		count = 1
+	}
+	n := len(in.nw.Nodes)
+	if n < 2 {
+		return
+	}
+	for k := 0; k < count; k++ {
+		a := stream.Intn(n)
+		b := stream.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		in.outage(a, b, hold)
+	}
+}
+
+// outage severs one link and schedules its heal. Overlapping outages on
+// the same pair are not reference-counted: the earliest heal wins.
+func (in *Injector) outage(a, b int, hold time.Duration) {
+	m := in.nw.Medium
+	m.SetLinkDown(a, b, true)
+	in.Stats.LinkOutages++
+	if hold < 0 {
+		return // permanent blackout
+	}
+	in.nw.Sim.Schedule(hold, func() {
+		m.SetLinkDown(a, b, false)
+		in.Stats.LinkHeals++
+	})
+}
+
+// partition splits the network into two random halves for the hold time.
+func (in *Injector) partition(spec Spec, stream *rng.Source) {
+	hold := spec.Duration
+	if hold == 0 {
+		hold = spec.defaultHold()
+	}
+	n := len(in.nw.Nodes)
+	cells := make([]int, n)
+	for i, id := range stream.Perm(n) {
+		if i < n/2 {
+			cells[id] = 1
+		}
+	}
+	m := in.nw.Medium
+	m.SetPartition(cells)
+	in.Stats.Partitions++
+	if hold < 0 {
+		return
+	}
+	in.nw.Sim.Schedule(hold, func() {
+		m.SetPartition(nil)
+		in.Stats.PartHeals++
+	})
+}
+
+// lossy opens a delivery-fault window. The spec's stream feeds the
+// per-frame draws, so repeated windows continue one deterministic
+// sequence.
+func (in *Injector) lossy(spec Spec, stream *rng.Source) {
+	m := in.nw.Medium
+	m.SetDeliveryFaults(spec.Drop, spec.Dup, spec.DelayMax, stream)
+	in.Stats.LossyWindows++
+	if spec.Duration > 0 {
+		in.nw.Sim.Schedule(spec.Duration, m.ClearDeliveryFaults)
+	}
+}

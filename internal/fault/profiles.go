@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+)
+
+// ProfileNames lists the built-in fault profiles in presentation order.
+// "none" is a real profile (an empty plan), so fault-free cells appear in
+// the same chaos tables as faulted ones.
+func ProfileNames() []string {
+	return []string{"none", "reboot", "flap", "partition", "lossy", "mayhem"}
+}
+
+// Profile returns the named built-in plan scaled to a node count and run
+// length, so the same profile is meaningful in a 20-second test and the
+// paper's 900-second scenario. Fault pressure scales with the network:
+// crash rounds hit ~10% of nodes, flap rounds ~20% of links-per-node.
+func Profile(name string, nodes int, simTime time.Duration) (Plan, error) {
+	tenth := max(nodes/10, 1)
+	fifth := max(nodes/5, 1)
+	switch name {
+	case "none":
+		return Plan{Name: "none"}, nil
+
+	case "reboot":
+		// Periodic crash rounds with volatile-state loss: the regime of
+		// the van Glabbeek AODV-loop construction.
+		return Plan{Name: "reboot", Specs: []Spec{{
+			Kind:     Crash,
+			At:       simTime / 10,
+			Every:    max(simTime/30, 2*time.Second),
+			Duration: 250 * time.Millisecond,
+			Count:    tenth,
+		}}}, nil
+
+	case "flap":
+		// Short random link blackouts: link-layer failure detection and
+		// route-error churn without any node losing state.
+		return Plan{Name: "flap", Specs: []Spec{{
+			Kind:     LinkFlap,
+			At:       simTime / 20,
+			Every:    max(simTime/60, time.Second),
+			Duration: time.Second,
+			Count:    fifth,
+		}}}, nil
+
+	case "partition":
+		// Recurring half/half splits with heals: every flow crossing the
+		// cut loses its route, then rediscovers it.
+		return Plan{Name: "partition", Specs: []Spec{{
+			Kind:     Partition,
+			At:       simTime / 6,
+			Every:    simTime / 3,
+			Duration: max(simTime/15, 2*time.Second),
+		}}}, nil
+
+	case "lossy":
+		// A permanently degraded channel: 10% delivery loss, 5%
+		// duplication, up to 20 ms of extra delivery latency.
+		return Plan{Name: "lossy", Specs: []Spec{{
+			Kind:     Lossy,
+			At:       time.Second,
+			Drop:     0.10,
+			Dup:      0.05,
+			DelayMax: 20 * time.Millisecond,
+		}}}, nil
+
+	case "mayhem":
+		// Everything at once, each mechanism milder than its dedicated
+		// profile: the kitchen-sink robustness check.
+		return Plan{Name: "mayhem", Specs: []Spec{
+			{
+				Kind:     Crash,
+				At:       simTime / 8,
+				Every:    max(simTime/15, 4*time.Second),
+				Duration: 250 * time.Millisecond,
+				Count:    tenth,
+			},
+			{
+				Kind:     LinkFlap,
+				At:       simTime / 10,
+				Every:    max(simTime/30, 2*time.Second),
+				Duration: time.Second,
+				Count:    tenth,
+			},
+			{
+				Kind:     Partition,
+				At:       simTime / 2,
+				Duration: max(simTime/20, 2*time.Second),
+			},
+			{
+				Kind:     Lossy,
+				At:       time.Second,
+				Drop:     0.05,
+				Dup:      0.02,
+				DelayMax: 10 * time.Millisecond,
+			},
+		}}, nil
+
+	default:
+		return Plan{}, fmt.Errorf("fault: unknown profile %q (have %v)", name, ProfileNames())
+	}
+}

@@ -30,111 +30,169 @@ func (v Violation) Error() string {
 	return fmt.Sprintf("loopcheck: ordering violation toward %d: %s", v.Dst, v.Msg)
 }
 
-// snapshotAll collects every node's valid routes, indexed by destination.
+// hop is one node's valid route toward some destination.
 type hop struct {
-	node  routing.NodeID
 	next  routing.NodeID
 	seq   uint64
 	fd    int
-	hasFD bool
+	has   bool // a valid route exists
+	hasFD bool // the (seq, fd) label is meaningful
 }
 
 // Check inspects the instantaneous routing state of all nodes and returns
 // every violation found. Protocols that do not implement
-// routing.TableSnapshotter are skipped.
+// routing.TableSnapshotter are skipped. One-shot convenience over
+// Checker; continuous auditors should hold a Checker and reuse it.
 func Check(nodes []*routing.Node) []Violation {
-	byDst := make(map[routing.NodeID][]hop)
-	for _, n := range nodes {
-		snap, ok := n.Protocol().(routing.TableSnapshotter)
-		if !ok {
+	return NewChecker().Check(nodes)
+}
+
+// Checker runs repeated invariant checks over the same network without
+// per-check allocation: the successor matrix, DFS state, and snapshot
+// buffer are all reused, and nodes/destinations are visited in ascending
+// ID order so the violations returned are deterministic. Not safe for
+// concurrent use; each worker holds its own Checker.
+type Checker struct {
+	n       int
+	succ    []hop            // n×n matrix: succ[dst*n+node]
+	dstUsed []bool           // destinations with ≥1 valid route
+	state   []uint8          // DFS: 0 unvisited, 1 on current path, 2 cleared
+	path    []routing.NodeID // DFS path scratch
+	snap    []routing.RouteEntry
+}
+
+// NewChecker returns an empty Checker; it sizes itself to the node count
+// on first use.
+func NewChecker() *Checker { return &Checker{} }
+
+func (c *Checker) resize(n int) {
+	if c.n != n {
+		c.n = n
+		c.succ = make([]hop, n*n)
+		c.dstUsed = make([]bool, n)
+		c.state = make([]uint8, n)
+		return
+	}
+	for i := range c.succ {
+		c.succ[i] = hop{}
+	}
+	for i := range c.dstUsed {
+		c.dstUsed[i] = false
+	}
+}
+
+// Check snapshots every node's routing table and returns all loop and
+// ordering violations, sorted by destination then discovery order. The
+// returned slice is freshly allocated only when violations exist; a clean
+// network costs zero allocations once the Checker is warm.
+func (c *Checker) Check(nodes []*routing.Node) []Violation {
+	c.resize(len(nodes))
+	n := c.n
+	for _, node := range nodes {
+		var snap []routing.RouteEntry
+		switch p := node.Protocol().(type) {
+		case routing.TableAppender:
+			c.snap = p.AppendTable(c.snap[:0])
+			snap = c.snap
+		case routing.TableSnapshotter:
+			snap = p.SnapshotTable()
+		default:
 			continue
 		}
-		for _, e := range snap.SnapshotTable() {
-			if !e.Valid {
+		id := int(node.ID())
+		for _, e := range snap {
+			if !e.Valid || int(e.Dst) < 0 || int(e.Dst) >= n || e.Dst == node.ID() {
 				continue
 			}
-			byDst[e.Dst] = append(byDst[e.Dst], hop{
-				node:  n.ID(),
+			c.succ[int(e.Dst)*n+id] = hop{
 				next:  e.Next,
 				seq:   e.SeqNo,
 				fd:    e.FD,
+				has:   true,
 				hasFD: e.FD > 0,
-			})
+			}
+			c.dstUsed[e.Dst] = true
 		}
 	}
 
 	var violations []Violation
-	for dst, hops := range byDst {
-		succ := make(map[routing.NodeID]hop, len(hops))
-		for _, h := range hops {
-			succ[h.node] = h
+	for dst := 0; dst < n; dst++ {
+		if c.dstUsed[dst] {
+			violations = c.checkDst(routing.NodeID(dst), violations)
 		}
-		violations = append(violations, checkDst(dst, succ)...)
 	}
 	return violations
 }
 
 // checkDst walks every successor chain toward dst, detecting cycles and
 // (when feasible distances are available) ordering-criterion breaches.
-func checkDst(dst routing.NodeID, succ map[routing.NodeID]hop) []Violation {
-	var violations []Violation
-	// state: 0 unvisited, 1 on current path, 2 cleared.
-	state := make(map[routing.NodeID]int, len(succ))
+func (c *Checker) checkDst(dst routing.NodeID, violations []Violation) []Violation {
+	n := c.n
+	succ := c.succ[int(dst)*n : int(dst)*n+n]
+	for i := range c.state {
+		c.state[i] = 0
+	}
 
-	for start := range succ {
-		if state[start] != 0 {
+	for start := 0; start < n; start++ {
+		if !succ[start].has || c.state[start] != 0 {
 			continue
 		}
-		var path []routing.NodeID
-		cur := start
+		path := c.path[:0]
+		cur := routing.NodeID(start)
 		for {
 			if cur == dst {
 				break // reached the destination: chain is fine
 			}
-			h, ok := succ[cur]
-			if !ok {
+			i := int(cur)
+			if i < 0 || i >= n || !succ[i].has {
 				break // chain leaves the set of valid routes: no loop here
 			}
-			switch state[cur] {
+			switch c.state[i] {
 			case 1:
 				// Found a node already on the current path: cycle.
 				violations = append(violations, Violation{Dst: dst, Cycle: cycleFrom(path, cur)})
-				state[cur] = 2
+				c.state[i] = 2
 			case 2:
 				// Joins an already-cleared chain.
 			default:
-				state[cur] = 1
+				c.state[i] = 1
 				path = append(path, cur)
-				cur = h.next
+				cur = succ[i].next
 				continue
 			}
 			break
 		}
-		for _, n := range path {
-			state[n] = 2
+		for _, id := range path {
+			c.state[id] = 2
 		}
+		c.path = path[:0] // keep any growth for the next chain
 	}
 
 	// Ordering criterion (Theorem 2): for an edge A→B on the successor
 	// graph (B = A's next hop, B ≠ dst, both with routes and labels):
 	// sn_B > sn_A, or sn_B = sn_A ∧ fd_B < fd_A.
-	for _, h := range succ {
-		if !h.hasFD || h.next == dst {
+	for a := 0; a < n; a++ {
+		h := succ[a]
+		if !h.has || !h.hasFD || h.next == dst {
 			continue
 		}
-		nh, ok := succ[h.next]
-		if !ok || !nh.hasFD {
+		b := int(h.next)
+		if b < 0 || b >= n {
+			continue
+		}
+		nh := succ[b]
+		if !nh.has || !nh.hasFD {
 			continue
 		}
 		if nh.seq < h.seq {
 			violations = append(violations, Violation{
 				Dst: dst,
-				Msg: fmt.Sprintf("successor %d has older seq (%d) than %d (%d)", h.next, nh.seq, h.node, h.seq),
+				Msg: fmt.Sprintf("successor %d has older seq (%d) than %d (%d)", h.next, nh.seq, a, h.seq),
 			})
 		} else if nh.seq == h.seq && nh.fd >= h.fd {
 			violations = append(violations, Violation{
 				Dst: dst,
-				Msg: fmt.Sprintf("successor %d fd=%d not below %d fd=%d at equal seq", h.next, nh.fd, h.node, h.fd),
+				Msg: fmt.Sprintf("successor %d fd=%d not below %d fd=%d at equal seq", h.next, nh.fd, a, h.fd),
 			})
 		}
 	}

@@ -139,6 +139,14 @@ type MAC struct {
 	lastSeq map[int]uint32 // receiver-side dedup: last data seq per source
 	promisc PromiscuousFunc
 
+	// down gates the interface for fault injection: a powered-off MAC
+	// neither transmits nor decodes. epoch invalidates scheduled
+	// continuations (backoff expiry, idle notification, broadcast
+	// completion) across a Reset: each captures the epoch at scheduling
+	// time and becomes a no-op if the interface was power-cycled since.
+	down  bool
+	epoch uint32
+
 	stats Stats
 }
 
@@ -171,9 +179,51 @@ func (m *MAC) SetPromiscuous(fn PromiscuousFunc) { m.promisc = fn }
 // QueueLen returns the number of frames waiting in the interface queue.
 func (m *MAC) QueueLen() int { return len(m.queue) }
 
+// SetDown powers the interface off (true) or on (false). While down the
+// MAC neither transmits nor decodes: Send drops frames silently and
+// received signals are ignored. The radio still counts signal energy at
+// this node, so channel occupancy stays consistent for its neighbors.
+func (m *MAC) SetDown(down bool) { m.down = down }
+
+// Down reports whether the interface is powered off.
+func (m *MAC) Down() bool { return m.down }
+
+// Reset models a power-cycle: the interface queue, any in-flight
+// exchange, backoff state, NAV, and the receiver's duplicate-suppression
+// memory are discarded, and every pending timer or scheduled continuation
+// is disarmed. Dropped frames invoke no OnSent/OnFail callbacks — the
+// state that would have handled them died with the node.
+func (m *MAC) Reset() {
+	m.epoch++
+	if m.ackTimer != nil {
+		m.ackTimer.Cancel()
+		m.ackTimer = nil
+	}
+	if m.ctsTimer != nil {
+		m.ctsTimer.Cancel()
+		m.ctsTimer = nil
+	}
+	m.awaitAck = false
+	m.awaitCTS = false
+	for i := range m.queue {
+		m.queue[i] = nil
+	}
+	m.queue = m.queue[:0]
+	m.inFlight = false
+	m.retries = 0
+	m.cw = m.cfg.CWMin
+	m.navUntil = 0
+	clear(m.lastSeq)
+}
+
 // Send enqueues a frame for transmission. If the interface queue is full
-// the frame is dropped and OnFail (if set) is invoked immediately.
+// the frame is dropped and OnFail (if set) is invoked immediately. A
+// powered-off interface drops frames without callbacks.
 func (m *MAC) Send(f *Frame) {
+	if m.down {
+		m.stats.QueueDrops++
+		return
+	}
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.stats.QueueDrops++
 		if f.OnFail != nil {
@@ -199,18 +249,34 @@ func (m *MAC) kick() {
 
 // attempt performs one carrier-sense + backoff cycle for the head frame.
 // Both physical carrier sense and the NAV (when RTS/CTS is enabled) must
-// show the channel idle.
+// show the channel idle. Every continuation it schedules captures the
+// current epoch, so a Reset between scheduling and firing disarms it.
 func (m *MAC) attempt() {
+	if m.down || !m.inFlight || len(m.queue) == 0 {
+		return // interface reset or powered down since this retry was queued
+	}
+	ep := m.epoch
 	if m.medium.Busy(m.id) {
-		m.medium.NotifyIdle(m.id, m.attempt)
+		m.medium.NotifyIdle(m.id, func() {
+			if m.epoch == ep {
+				m.attempt()
+			}
+		})
 		return
 	}
 	if wait := m.navUntil - m.sim.Now(); wait > 0 {
-		m.sim.Schedule(wait, m.attempt)
+		m.sim.Schedule(wait, func() {
+			if m.epoch == ep {
+				m.attempt()
+			}
+		})
 		return
 	}
 	backoff := m.cfg.DIFS + time.Duration(m.rng.Intn(m.cw+1))*m.cfg.SlotTime
 	m.sim.Schedule(backoff, func() {
+		if m.epoch != ep {
+			return
+		}
 		if m.medium.Busy(m.id) || m.navUntil > m.sim.Now() {
 			// Channel was captured during our backoff; defer again.
 			m.attempt()
@@ -291,8 +357,11 @@ func (m *MAC) transmitData(f *Frame) {
 
 	if f.To == BroadcastAddr {
 		m.stats.Broadcast++
+		ep := m.epoch
 		m.sim.Schedule(air, func() {
-			m.completeHead(true)
+			if m.epoch == ep {
+				m.completeHead(true)
+			}
 		})
 		return
 	}
@@ -330,6 +399,9 @@ func (m *MAC) completeHead(ok bool) {
 }
 
 func (m *MAC) onRadio(from int, payload any) {
+	if m.down {
+		return
+	}
 	af, ok := payload.(*airFrame)
 	if !ok {
 		return
@@ -342,7 +414,9 @@ func (m *MAC) onRadio(from int, payload any) {
 			remaining := af.dur
 			cts := &airFrame{kind: airCTS, src: m.id, dst: af.src, seq: af.seq, dur: remaining}
 			m.sim.Schedule(m.cfg.SIFS, func() {
-				m.medium.Transmit(m.id, m.cfg.CTSBytes*8, cts)
+				if !m.down {
+					m.medium.Transmit(m.id, m.cfg.CTSBytes*8, cts)
+				}
 			})
 			return
 		}
@@ -354,8 +428,9 @@ func (m *MAC) onRadio(from int, payload any) {
 				m.ctsTimer.Cancel()
 			}
 			f := m.queue[0]
+			ep := m.epoch
 			m.sim.Schedule(m.cfg.SIFS, func() {
-				if m.inFlight && len(m.queue) > 0 && m.queue[0] == f {
+				if m.epoch == ep && m.inFlight && len(m.queue) > 0 && m.queue[0] == f {
 					m.transmitData(f)
 				}
 			})
@@ -407,6 +482,8 @@ func (m *MAC) setNAV(dur time.Duration) {
 func (m *MAC) sendAck(af *airFrame) {
 	ack := &airFrame{kind: airAck, src: m.id, dst: af.src, seq: af.seq}
 	m.sim.Schedule(m.cfg.SIFS, func() {
-		m.medium.Transmit(m.id, m.cfg.AckBytes*8, ack)
+		if !m.down {
+			m.medium.Transmit(m.id, m.cfg.AckBytes*8, ack)
+		}
 	})
 }

@@ -73,6 +73,15 @@ type Collector struct {
 	// routing-table entry at the end of the run.
 	SeqnoSum   float64
 	SeqnoCount uint64
+
+	// Continuous invariant auditing (internal/fault): table snapshots
+	// taken by the loopcheck auditor and the violations they exposed.
+	// A loop violation is a cycle in some destination's successor graph;
+	// an ordering violation is a (seq, fd) label pair breaking the
+	// paper's Theorem 2 criterion along a successor edge.
+	AuditSnapshots     uint64
+	LoopViolations     uint64
+	OrderingViolations uint64
 }
 
 // NewCollector returns an empty collector.

@@ -139,6 +139,8 @@ type OLSR struct {
 var (
 	_ routing.Protocol         = (*OLSR)(nil)
 	_ routing.TableSnapshotter = (*OLSR)(nil)
+	_ routing.TableAppender    = (*OLSR)(nil)
+	_ routing.Resetter         = (*OLSR)(nil)
 )
 
 // New builds an OLSR instance bound to a node.
@@ -176,6 +178,31 @@ func (o *OLSR) Stop() {
 			t.Cancel()
 		}
 	}
+}
+
+// Reset implements routing.Resetter: a crash clears the entire link-state
+// view — links, two-hop sets, MPR selectors, topology tuples, duplicate
+// table, and computed routes — and cancels the periodic timers, which
+// Start re-arms with fresh phases at reboot. ansn and msgSeq survive:
+// they version this node's advertisements, and restarting them at zero
+// would make neighbors' duplicate and topology tables discard the
+// rebooted node's fresh messages as stale for a full holding time.
+func (o *OLSR) Reset() {
+	for _, t := range []*sim.Event{o.helloTimer, o.tcTimer, o.sweeper} {
+		if t != nil {
+			t.Cancel()
+		}
+	}
+	o.helloTimer, o.tcTimer, o.sweeper = nil, nil, nil
+	clear(o.links)
+	clear(o.twoHop)
+	clear(o.selectors)
+	clear(o.topology)
+	clear(o.dup)
+	clear(o.routes)
+	clear(o.hops)
+	o.dirty = false
+	o.queue.reset()
 }
 
 // --- periodic emission ---
@@ -620,10 +647,14 @@ func (o *OLSR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 
 // SnapshotTable implements routing.TableSnapshotter.
 func (o *OLSR) SnapshotTable() []routing.RouteEntry {
+	return o.AppendTable(make([]routing.RouteEntry, 0, len(o.routes)))
+}
+
+// AppendTable implements routing.TableAppender.
+func (o *OLSR) AppendTable(out []routing.RouteEntry) []routing.RouteEntry {
 	if o.dirty {
 		o.recompute()
 	}
-	out := make([]routing.RouteEntry, 0, len(o.routes))
 	for dst, next := range o.routes {
 		out = append(out, routing.RouteEntry{
 			Dst: dst, Next: next, Metric: o.hops[dst], Valid: true,
@@ -689,6 +720,16 @@ func (q *jitterQueue) kick() {
 	q.busy = true
 	jitter := time.Duration(q.o.node.RNG().Float64() * float64(q.o.cfg.MaxJitter))
 	q.o.node.Schedule(jitter, q.pop)
+}
+
+// reset drops all queued messages (crash path). A pending pop event may
+// still fire; it finds the queue empty, clears busy, and stops — so the
+// flag is deliberately left alone here rather than cleared under it.
+func (q *jitterQueue) reset() {
+	for i := range q.queue {
+		q.queue[i] = nil
+	}
+	q.queue = q.queue[:0]
 }
 
 func (q *jitterQueue) pop() {

@@ -87,10 +87,17 @@ type Medium struct {
 	endFn   func(any)
 	idleFn  func(any)
 
+	// flt holds the fault-injection hooks (see fault.go); nil while no
+	// fault has ever been installed, which keeps the fault-free hot path
+	// to a single pointer test.
+	flt *faults
+
 	// Transmissions counts frames put on the air, for diagnostics.
 	Transmissions uint64
 	// Corrupted counts per-receiver receptions lost to collisions.
 	Corrupted uint64
+	// FaultStats counts fault-hook activity (zero without faults).
+	FaultStats FaultStats
 }
 
 type nodeState struct {
@@ -250,6 +257,10 @@ func (m *Medium) Transmit(src, bits int, payload any) time.Duration {
 		if i == src || m.nodes[i].rx == nil {
 			continue
 		}
+		if m.flt != nil && m.blocked(src, i) {
+			m.FaultStats.Blocked++
+			continue
+		}
 		d := srcPos.Dist(m.position(i))
 		if d > m.cfg.CSRange {
 			continue
@@ -296,7 +307,11 @@ func (m *Medium) signalEnd(arg any) {
 			}
 		}
 		if !rc.corrupted && st.txUntil <= m.sim.Now() && st.rx != nil {
-			st.rx(int(rc.from), rc.payload)
+			if f := m.flt; f != nil && f.src != nil {
+				m.deliverFaulty(f, rc)
+			} else {
+				st.rx(int(rc.from), rc.payload)
+			}
 		}
 	}
 	m.checkIdle(int(rc.dst))

@@ -80,6 +80,26 @@ type TableSnapshotter interface {
 	SnapshotTable() []RouteEntry
 }
 
+// TableAppender is the allocation-free variant of TableSnapshotter:
+// entries are appended to the caller's buffer. Continuous auditors (the
+// fault subsystem snapshots every table many times per simulated second)
+// use it to reuse one buffer across snapshots.
+type TableAppender interface {
+	AppendTable(out []RouteEntry) []RouteEntry
+}
+
+// Resetter is implemented by protocols whose volatile state can be wiped
+// in place, modelling the memory loss of a crash/reboot cycle. Reset
+// cancels the protocol's timers and discards routing state but leaves the
+// instance runnable: the fault injector calls Reset at crash time and
+// Start again at reboot. What survives a Reset is a per-protocol design
+// decision — LDR persists its own destination sequence number (LDR paper
+// §5), AODV deliberately loses its (the premise of the van Glabbeek
+// et al. loop construction).
+type Resetter interface {
+	Reset()
+}
+
 // Node is the network layer of one simulated node. It owns the MAC, routes
 // control and data packets to the protocol, and feeds the metrics
 // collector.
@@ -93,6 +113,7 @@ type Node struct {
 	tracer Tracer
 
 	nextPktID uint64
+	down      bool
 }
 
 // netFrame is the payload the network layer puts in MAC frames.
@@ -138,6 +159,17 @@ func (n *Node) Metrics() *metrics.Collector { return n.col }
 
 // MAC exposes the node's MAC for statistics.
 func (n *Node) MAC() *mac.MAC { return n.mac }
+
+// SetDown powers the node off (true) or on (false), taking its interface
+// with it. It only flips the power state: crash semantics (wiping the
+// MAC and protocol state) belong to the caller — see internal/fault.
+func (n *Node) SetDown(down bool) {
+	n.down = down
+	n.mac.SetDown(down)
+}
+
+// Down reports whether the node is powered off.
+func (n *Node) Down() bool { return n.down }
 
 // PromiscuousFunc receives overheard traffic: frames addressed to other
 // nodes that this node's radio decoded anyway. Exactly one of data/msg is
@@ -212,6 +244,13 @@ func (n *Node) OriginateData(dst NodeID, bytes int) {
 	}
 	n.col.DataInitiated++
 	n.trace(TraceOriginate, pkt, BroadcastID)
+	if n.down {
+		// The application is down with the node: the packet still counts
+		// as offered load (the flow does not pause for the outage) and is
+		// lost on the spot.
+		n.DropData(pkt)
+		return
+	}
 	n.proto.Originate(pkt)
 }
 

@@ -14,6 +14,7 @@ import (
 	"github.com/manetlab/ldr/internal/aodv"
 	"github.com/manetlab/ldr/internal/core"
 	"github.com/manetlab/ldr/internal/dsr"
+	"github.com/manetlab/ldr/internal/fault"
 	"github.com/manetlab/ldr/internal/mac"
 	"github.com/manetlab/ldr/internal/metrics"
 	"github.com/manetlab/ldr/internal/mobility"
@@ -59,6 +60,19 @@ type Config struct {
 	// LDRConfig overrides the LDR configuration when Protocol == LDR
 	// (used by the ablation benchmarks). Nil selects the defaults.
 	LDRConfig *core.Config
+
+	// FaultPlan, when non-nil, runs the scenario under fault injection:
+	// node crash/reboot cycles, link blackouts, partitions, and
+	// message-level delivery faults (see internal/fault). The injector
+	// draws from its own seeded stream, so adding a plan does not
+	// perturb the mobility, traffic, or MAC randomness of the run.
+	FaultPlan *fault.Plan
+
+	// AuditCadence > 0 enables the continuous invariant auditor: every
+	// routing table is snapshotted at this virtual-time period and loop/
+	// ordering violations are scored into the collector (AuditSnapshots,
+	// LoopViolations, OrderingViolations).
+	AuditCadence time.Duration
 }
 
 // Nodes50 is the paper's 50-node scenario skeleton.
@@ -89,6 +103,13 @@ type Result struct {
 	Config    Config
 	Collector *metrics.Collector
 	Events    uint64 // simulator events executed (cost measure)
+
+	// Faults counts what the injector actually did (zero value when the
+	// config had no plan).
+	Faults fault.Stats
+	// Violations samples the first audited violations (nil when auditing
+	// was off or the run was clean); counters live in the Collector.
+	Violations []fault.Record
 }
 
 // SeqnoReporter is implemented by protocols that track destination
@@ -97,12 +118,27 @@ type SeqnoReporter interface {
 	ReportSeqnos(*metrics.Collector)
 }
 
+// Instruments are the optional per-run fault instruments; fields are nil
+// when the config does not enable them.
+type Instruments struct {
+	Injector *fault.Injector
+	Auditor  *fault.Auditor
+}
+
 // Build constructs the network and workload without running them, for
 // callers that need mid-run access (invariant checkers, examples).
 func Build(cfg Config) (*routing.Network, *traffic.Generator, error) {
+	nw, gen, _, err := BuildInstrumented(cfg)
+	return nw, gen, err
+}
+
+// BuildInstrumented is Build plus the fault injector and continuous
+// auditor requested by the config, already scheduled (they start firing
+// when the simulation runs).
+func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instruments, error) {
 	factory, err := Factory(cfg.Protocol, cfg.LDRConfig)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	root := rng.New(cfg.Seed)
 	model := mobility.NewWaypoint(cfg.Nodes, mobility.WaypointConfig{
@@ -116,12 +152,22 @@ func Build(cfg Config) (*routing.Network, *traffic.Generator, error) {
 	macCfg.RTSCTSEnabled = cfg.RTSCTS
 	nw := routing.NewNetwork(cfg.Nodes, model, radio.DefaultConfig(), macCfg, cfg.Seed, factory)
 	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, traffic.DefaultConfig(cfg.Flows, cfg.SimTime), root.Split("traffic"))
-	return nw, gen, nil
+
+	inst := &Instruments{}
+	if cfg.FaultPlan != nil {
+		inst.Injector = fault.NewInjector(nw, *cfg.FaultPlan, root.Split("fault"), cfg.SimTime)
+		inst.Injector.Start()
+	}
+	if cfg.AuditCadence > 0 {
+		inst.Auditor = fault.NewAuditor(nw, fault.AuditConfig{Cadence: cfg.AuditCadence, Until: cfg.SimTime})
+		inst.Auditor.Start()
+	}
+	return nw, gen, inst, nil
 }
 
 // Run executes the scenario to completion and returns its metrics.
 func Run(cfg Config) (Result, error) {
-	nw, gen, err := Build(cfg)
+	nw, gen, inst, err := BuildInstrumented(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -137,7 +183,14 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	nw.Stop()
-	return Result{Config: cfg, Collector: nw.Collector, Events: nw.Sim.EventsFired()}, nil
+	res := Result{Config: cfg, Collector: nw.Collector, Events: nw.Sim.EventsFired()}
+	if inst.Injector != nil {
+		res.Faults = inst.Injector.Stats
+	}
+	if inst.Auditor != nil {
+		res.Violations = inst.Auditor.Records
+	}
+	return res, nil
 }
 
 // Factory returns the protocol constructor for a name. ldrCfg overrides

@@ -96,6 +96,27 @@ func (s *Simulator) At(t time.Duration, fn func()) *Event {
 	return ev
 }
 
+// Every runs fn at absolute time start and then every interval, stopping
+// once the next firing would pass until. The chain self-schedules, so it
+// costs one queued event at a time regardless of how many ticks remain —
+// and, unlike pre-scheduling the whole series, it cannot keep a drained
+// queue alive past the last tick. Periodic instruments (fault injectors,
+// invariant auditors) are the intended callers. A non-positive interval
+// or start > until schedules nothing.
+func (s *Simulator) Every(start, interval, until time.Duration, fn func()) {
+	if interval <= 0 || start > until {
+		return
+	}
+	var tick func()
+	tick = func() {
+		fn()
+		if next := s.now + interval; next <= until {
+			s.At(next, tick)
+		}
+	}
+	s.At(start, tick)
+}
+
 // ScheduleTransient runs fn(arg) after delay of virtual time, like
 // Schedule, but returns no handle: the event cannot be cancelled or
 // observed. Because no *Event pointer escapes, the simulator recycles the
