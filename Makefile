@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race chaos bench bench-chaos bench-all examples experiments clean
+.PHONY: all check build test vet race fuzz-smoke chaos bench bench-chaos bench-all examples experiments clean
 
 all: check
 
-check: build vet test race
+check: build vet test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ test:
 # single-core boxes, where the race detector's slowdown is at its worst.
 race:
 	$(GO) test -race -timeout 60m ./internal/sweep/ ./internal/experiments/ ./internal/scenario/
+
+# Bounded conformance fuzz: replay the committed regression seeds and a
+# small randomized sweep (all protocols × fault profiles) under the race
+# detector, then the same sweep again via the ldrfuzz binary, which must
+# exit 0. Matches TestFuzzSmoke's bounds so failures reproduce in-test.
+fuzz-smoke:
+	$(GO) test -race -timeout 30m ./internal/conformance/ -run 'TestRegressionSeeds|TestFuzzSmoke'
+	$(GO) run ./cmd/ldrfuzz -runs 8 -seed 42 -max-nodes 20 -max-simtime 12s -q
 
 # The fault-injection suite under the race detector: the van Glabbeek
 # loop reproduction, the per-profile LDR invariant properties, and the

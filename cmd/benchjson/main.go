@@ -37,7 +37,22 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "usage: go test -bench ... | benchjson [-o FILE]\n\n")
+		fmt.Fprintf(w, "Convert `go test -bench` output on stdin into a JSON report. Standard\n")
+		fmt.Fprintf(w, "metrics (ns/op, B/op, allocs/op) and custom b.ReportMetric units are\n")
+		fmt.Fprintf(w, "all captured; non-benchmark lines are ignored.\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(w, "\nExample:\n")
+		fmt.Fprintf(w, "  go test -bench Sweep -benchmem ./internal/sweep/ | benchjson -o BENCH_sweep.json\n")
+	}
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unexpected argument %q (input is read from stdin)\n", flag.Arg(0))
+		os.Exit(1)
+	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {

@@ -47,8 +47,23 @@ func run() error {
 		audit    = flag.Duration("audit", 100*time.Millisecond, "invariant-audit snapshot cadence; must be > 0")
 		workers  = flag.Int("workers", 0, "concurrent cells; 0 = GOMAXPROCS, 1 = serial (output identical either way)")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "usage: ldrchaos [flags]\n\n")
+		fmt.Fprintf(w, "Run the fault-injection suite: every protocol under every fault profile\n")
+		fmt.Fprintf(w, "(crash/reboot, link flapping, partitions, lossy delivery) with the\n")
+		fmt.Fprintf(w, "continuous loopcheck auditor scoring invariant violations throughout.\n")
+		fmt.Fprintf(w, "Output is byte-identical for the same flags at any -workers setting.\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(w, "\nExamples:\n")
+		fmt.Fprintf(w, "  ldrchaos -profiles reboot,mayhem -trials 5\n")
+		fmt.Fprintf(w, "  ldrchaos -protocols ldr,aodv -simtime 900s -trials 10\n")
+	}
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (ldrchaos takes only flags)", flag.Arg(0))
+	}
 	if *trials < 1 {
 		return fmt.Errorf("-trials must be at least 1 (got %d)", *trials)
 	}
@@ -82,7 +97,12 @@ func run() error {
 	}
 	if *protos != "" {
 		for _, p := range strings.Split(*protos, ",") {
-			opts.Protocols = append(opts.Protocols, scenario.ProtocolName(strings.TrimSpace(p)))
+			name := scenario.ProtocolName(strings.TrimSpace(p))
+			// Resolve now for a clean error before any simulation runs.
+			if _, err := scenario.Factory(name, nil); err != nil {
+				return err
+			}
+			opts.Protocols = append(opts.Protocols, name)
 		}
 	}
 	return experiments.Chaos(opts)

@@ -36,9 +36,48 @@ func run() error {
 		interval = flag.Duration("interval", 5*time.Second, "dump interval")
 		dest     = flag.Int("dest", 0, "destination whose successor graph to dump")
 		seed     = flag.Int64("seed", 1, "random seed")
-		packets  = flag.Int("packets", 0, "also print the paths of the last N traced packets")
+		packets  = flag.Int("packets", 0, "also print the paths of the last N traced packets (≥ 0)")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "usage: ldrtrace [flags]\n\n")
+		fmt.Fprintf(w, "Run one scenario while periodically dumping every node's routes toward\n")
+		fmt.Fprintf(w, "-dest (with LDR's sequence-number and feasible-distance labels) and\n")
+		fmt.Fprintf(w, "checking the loop-freedom invariants live. Debugging companion to ldrsim.\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(w, "\nExamples:\n")
+		fmt.Fprintf(w, "  ldrtrace -proto ldr -nodes 20 -dest 3 -interval 5s -simtime 60s\n")
+		fmt.Fprintf(w, "  ldrtrace -proto aodv -packets 10\n")
+	}
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (ldrtrace takes only flags)", flag.Arg(0))
+	}
+	if _, err := scenario.Factory(scenario.ProtocolName(*proto), nil); err != nil {
+		return err
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("-nodes must be at least 2 (got %d)", *nodes)
+	}
+	if *flows < 1 {
+		return fmt.Errorf("-flows must be at least 1 (got %d)", *flows)
+	}
+	if *pause < 0 {
+		return fmt.Errorf("-pause must be ≥ 0 (got %v)", *pause)
+	}
+	if *simTime <= 0 {
+		return fmt.Errorf("-simtime must be positive (got %v)", *simTime)
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive (got %v)", *interval)
+	}
+	if *dest < 0 || *dest >= *nodes {
+		return fmt.Errorf("-dest must name a node in [0,%d) (got %d)", *nodes, *dest)
+	}
+	if *packets < 0 {
+		return fmt.Errorf("-packets must be ≥ 0 (got %d)", *packets)
+	}
 
 	cfg := scenario.Nodes50(scenario.ProtocolName(*proto), *flows, *pause, *seed)
 	cfg.Nodes = *nodes

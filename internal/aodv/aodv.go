@@ -234,7 +234,7 @@ func (a *AODV) Reset() {
 	}
 	for _, q := range a.pending {
 		for _, pkt := range q {
-			a.node.DropData(pkt)
+			a.node.DropData(pkt, metrics.DropReset)
 		}
 	}
 	a.ownSeq = 0
@@ -244,6 +244,16 @@ func (a *AODV) Reset() {
 	a.active = make(map[routing.NodeID]*discovery)
 	a.lastHeard = make(map[routing.NodeID]time.Duration)
 	a.repairing = make(map[routing.NodeID]bool)
+}
+
+// WalkHeldData implements routing.HeldDataWalker: the only data packets
+// AODV holds are those buffered while route discovery runs.
+func (a *AODV) WalkHeldData(fn func(*routing.DataPacket)) {
+	for _, q := range a.pending {
+		for _, pkt := range q {
+			fn(pkt)
+		}
+	}
 }
 
 // --- data plane ---
@@ -259,7 +269,7 @@ func (a *AODV) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		a.node.DropData(pkt)
+		a.node.DropData(pkt, metrics.DropTTL)
 		return
 	}
 	a.sendOrQueue(pkt)
@@ -279,7 +289,7 @@ func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
 		a.solicit(pkt.Dst)
 		return
 	}
-	a.node.DropData(pkt)
+	a.node.DropData(pkt, metrics.DropNoRoute)
 	// A relay with no route reports the destination unreachable so that
 	// upstream holders of the stale route purge it.
 	seq := uint32(0)
@@ -292,7 +302,7 @@ func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
 func (a *AODV) queuePacket(pkt *routing.DataPacket) {
 	q := a.pending[pkt.Dst]
 	if len(q) >= a.cfg.MaxQueuedPerDest {
-		a.node.DropData(q[0])
+		a.node.DropData(q[0], metrics.DropQueueOverflow)
 		q = q[1:]
 	}
 	a.pending[pkt.Dst] = append(q, pkt)
@@ -351,7 +361,7 @@ func (a *AODV) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 		a.queuePacket(pkt)
 		a.solicit(pkt.Dst)
 	} else {
-		a.node.DropData(pkt)
+		a.node.DropData(pkt, metrics.DropLinkBreak)
 	}
 }
 
@@ -420,7 +430,7 @@ func (a *AODV) discoveryTimeout(dst routing.NodeID, d *discovery) {
 		if d.retries > a.cfg.RREQRetries || a.repairing[dst] {
 			delete(a.active, dst)
 			for _, pkt := range a.pending[dst] {
-				a.node.DropData(pkt)
+				a.node.DropData(pkt, metrics.DropNoRoute)
 			}
 			delete(a.pending, dst)
 			if a.repairing[dst] {

@@ -1,0 +1,286 @@
+// Seeded scenario fuzzing with greedy shrinking. The fuzzer sweeps
+// random (protocol × node count × fault profile × traffic) scenarios
+// through the conservation harness; any violating run is minimized —
+// drop flows, then drop faults, then shorten simtime — into a small
+// reproducer that can be committed as a regression seed under
+// testdata/.
+
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/manetlab/ldr/internal/fault"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/sweep"
+)
+
+// Spec is a serializable fuzz scenario: everything needed to rebuild a
+// run, in JSON-friendly units. Committed regression seeds are Specs.
+type Spec struct {
+	Protocol   string  `json:"protocol"`
+	Nodes      int     `json:"nodes"`
+	Flows      int     `json:"flows"`
+	PauseSec   float64 `json:"pause_sec"`
+	SimTimeSec float64 `json:"simtime_sec"`
+	Seed       int64   `json:"seed"`
+	Profile    string  `json:"profile"` // fault.ProfileNames entry
+	AuditMS    int     `json:"audit_ms"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// String renders the spec compactly for logs.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s nodes=%d flows=%d pause=%.0fs sim=%.0fs seed=%d",
+		s.Protocol, s.Profile, s.Nodes, s.Flows, s.PauseSec, s.SimTimeSec, s.Seed)
+}
+
+// Config expands the spec into a runnable scenario configuration. The
+// terrain scales with the node count at the chaos rig's density (a
+// 25-node spec gets the 1000 m × 300 m strip the fault tests use).
+func (s Spec) Config() (scenario.Config, error) {
+	simTime := time.Duration(s.SimTimeSec * float64(time.Second))
+	cfg := scenario.Config{
+		Protocol:  scenario.ProtocolName(s.Protocol),
+		Nodes:     s.Nodes,
+		Terrain:   mobility.Terrain{Width: float64(40 * s.Nodes), Height: 300},
+		Flows:     s.Flows,
+		PauseTime: time.Duration(s.PauseSec * float64(time.Second)),
+		MinSpeed:  1,
+		MaxSpeed:  20,
+		SimTime:   simTime,
+		Seed:      s.Seed,
+	}
+	if _, err := scenario.Factory(cfg.Protocol, nil); err != nil {
+		return scenario.Config{}, err
+	}
+	if s.Profile != "" && s.Profile != "none" {
+		plan, err := fault.Profile(s.Profile, s.Nodes, simTime)
+		if err != nil {
+			return scenario.Config{}, err
+		}
+		cfg.FaultPlan = &plan
+	}
+	if s.AuditMS > 0 {
+		cfg.AuditCadence = time.Duration(s.AuditMS) * time.Millisecond
+	}
+	return cfg, nil
+}
+
+// LoadSpec reads a Spec from a JSON file (a committed regression seed).
+func LoadSpec(path string) (Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Spec{}, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// CheckSpec runs the spec under the conservation harness, auditing at
+// the spec's cadence (default 100 ms).
+func CheckSpec(s Spec) (Report, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return Report{}, err
+	}
+	cadence := 100 * time.Millisecond
+	if s.AuditMS > 0 {
+		cadence = time.Duration(s.AuditMS) * time.Millisecond
+	}
+	return Check(cfg, CheckConfig{Cadence: cadence})
+}
+
+// violates decides whether a report fails the fuzzer's invariants:
+// any conservation violation, a delivery ratio above one, or — for LDR,
+// whose loop freedom is the paper's central claim — any loop violation
+// from the continuous loopcheck auditor. (AODV forming loops under
+// reboot faults is the van Glabbeek result, not an implementation bug,
+// so other protocols' loop counters are not failures here.)
+func violates(s Spec, r Report) bool {
+	if r.Total > 0 {
+		return true
+	}
+	if r.Collector.DeliveryRatio() > 1 {
+		return true
+	}
+	if s.Protocol == string(scenario.LDR) && r.Collector.LoopViolations > 0 {
+		return true
+	}
+	return false
+}
+
+// Options parameterize a fuzz sweep. Zero values select the defaults in
+// parentheses.
+type Options struct {
+	Runs       int           // scenarios to generate (32)
+	Seed       int64         // generator seed (1)
+	Workers    int           // parallel cells (GOMAXPROCS)
+	MaxNodes   int           // node-count bound (30, min 8)
+	MaxSimTime time.Duration // simulated length bound (45 s, min 5 s)
+	Protocols  []string      // candidate protocols (the paper's four)
+	Profiles   []string      // candidate fault profiles (all built-ins)
+	Shrink     bool          // minimize findings
+	Log        func(format string, args ...any) // progress sink, may be nil
+}
+
+func (o *Options) defaults() {
+	if o.Runs <= 0 {
+		o.Runs = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxNodes < 8 {
+		o.MaxNodes = 30
+	}
+	if o.MaxSimTime < 5*time.Second {
+		o.MaxSimTime = 45 * time.Second
+	}
+	if len(o.Protocols) == 0 {
+		for _, p := range scenario.AllProtocols {
+			o.Protocols = append(o.Protocols, string(p))
+		}
+	}
+	if len(o.Profiles) == 0 {
+		o.Profiles = fault.ProfileNames()
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+}
+
+// Finding is one violating scenario, with its minimized form.
+type Finding struct {
+	Spec       Spec     `json:"spec"`
+	Shrunk     Spec     `json:"shrunk"`
+	Total      uint64   `json:"violation_total"`
+	Violations []string `json:"violations"`
+}
+
+// genSpec draws one scenario from the generator stream. Every draw
+// happens unconditionally so the stream position after spec i never
+// depends on the values drawn for specs 0..i-1's fields.
+func genSpec(o *Options, src *rng.Source) Spec {
+	proto := o.Protocols[src.Intn(len(o.Protocols))]
+	nodes := 8 + src.Intn(o.MaxNodes-7)
+	flows := 1 + src.Intn(8)
+	pause := float64(src.Intn(31))
+	minSim := 5.0
+	maxSim := o.MaxSimTime.Seconds()
+	simt := minSim + float64(src.Intn(int(maxSim-minSim)+1))
+	seed := src.Int63()
+	profile := o.Profiles[src.Intn(len(o.Profiles))]
+	audit := 50 + src.Intn(150)
+	return Spec{
+		Protocol: proto, Nodes: nodes, Flows: flows,
+		PauseSec: pause, SimTimeSec: simt, Seed: seed,
+		Profile: profile, AuditMS: audit,
+	}
+}
+
+// Fuzz generates Runs random scenarios, checks them across a worker
+// pool, and returns the violating ones (shrunk when requested) in
+// generation order. The sweep is deterministic in (Seed, Runs): worker
+// count changes neither the scenarios generated nor the findings.
+func Fuzz(o Options) ([]Finding, error) {
+	o.defaults()
+	src := rng.New(o.Seed)
+	specs := make([]Spec, o.Runs)
+	for i := range specs {
+		specs[i] = genSpec(&o, src)
+	}
+
+	reports := make([]Report, o.Runs)
+	err := sweep.Each(o.Runs, sweep.Options{Workers: o.Workers}, func(i int) error {
+		r, err := CheckSpec(specs[i])
+		if err != nil {
+			return err
+		}
+		reports[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	for i, r := range reports {
+		if !violates(specs[i], r) {
+			continue
+		}
+		o.Log("violation: %s (%d violations)", specs[i], r.Total)
+		f := Finding{Spec: specs[i], Shrunk: specs[i], Total: r.Total}
+		if o.Shrink {
+			shrunk, sr, err := Shrink(specs[i], o.Log)
+			if err != nil {
+				return nil, err
+			}
+			f.Shrunk, f.Total, r = shrunk, sr.Total, sr
+		}
+		for _, v := range r.Violations {
+			f.Violations = append(f.Violations, v.String())
+		}
+		findings = append(findings, f)
+	}
+	return findings, nil
+}
+
+// Shrink greedily minimizes a violating spec while it keeps violating:
+// halve the flow count, then drop the fault profile, then halve the
+// simulated time (floor 2 s). Each accepted step re-verifies the
+// violation, so the result is always a genuine reproducer. logf may be
+// nil.
+func Shrink(s Spec, logf func(string, ...any)) (Spec, Report, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	best := s
+	bestReport, err := CheckSpec(best)
+	if err != nil {
+		return Spec{}, Report{}, err
+	}
+	if !violates(best, bestReport) {
+		return best, bestReport, fmt.Errorf("conformance: shrink of non-violating spec %s", s)
+	}
+	try := func(cand Spec) bool {
+		r, err := CheckSpec(cand)
+		if err != nil || !violates(cand, r) {
+			return false
+		}
+		best, bestReport = cand, r
+		logf("shrink: kept %s", cand)
+		return true
+	}
+	for best.Flows > 1 {
+		cand := best
+		cand.Flows = best.Flows / 2
+		if !try(cand) {
+			break
+		}
+	}
+	if best.Profile != "" && best.Profile != "none" {
+		cand := best
+		cand.Profile = "none"
+		try(cand)
+	}
+	for best.SimTimeSec > 2 {
+		cand := best
+		cand.SimTimeSec = best.SimTimeSec / 2
+		if cand.SimTimeSec < 2 {
+			cand.SimTimeSec = 2
+		}
+		if !try(cand) {
+			break
+		}
+	}
+	return best, bestReport, nil
+}

@@ -179,7 +179,7 @@ func (l *LDR) Reset() {
 	}
 	for _, q := range l.pending {
 		for _, pkt := range q {
-			l.node.DropData(pkt)
+			l.node.DropData(pkt, metrics.DropReset)
 		}
 	}
 	for _, e := range l.routes {
@@ -193,6 +193,16 @@ func (l *LDR) Reset() {
 
 // OwnSeq exposes the node's own sequence number (for tests and Fig. 7).
 func (l *LDR) OwnSeq() Seqno { return l.ownSeq }
+
+// WalkHeldData implements routing.HeldDataWalker: the only data packets
+// LDR holds are those buffered while route discovery runs.
+func (l *LDR) WalkHeldData(fn func(*routing.DataPacket)) {
+	for _, q := range l.pending {
+		for _, pkt := range q {
+			fn(pkt)
+		}
+	}
+}
 
 // --- data plane ---
 
@@ -209,7 +219,7 @@ func (l *LDR) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		l.node.DropData(pkt)
+		l.node.DropData(pkt, metrics.DropTTL)
 		return
 	}
 	// Receiving data from a neighbor implies it uses us as successor;
@@ -234,14 +244,14 @@ func (l *LDR) sendOrQueue(pkt *routing.DataPacket) {
 		l.solicit(pkt.Dst)
 		return
 	}
-	l.node.DropData(pkt)
+	l.node.DropData(pkt, metrics.DropNoRoute)
 	l.sendRERR([]RERRDest{{Dst: pkt.Dst, Seq: l.seqFor(pkt.Dst)}})
 }
 
 func (l *LDR) queuePacket(pkt *routing.DataPacket) {
 	q := l.pending[pkt.Dst]
 	if len(q) >= l.cfg.MaxQueuedPerDest {
-		l.node.DropData(q[0])
+		l.node.DropData(q[0], metrics.DropQueueOverflow)
 		q = q[1:]
 	}
 	l.pending[pkt.Dst] = append(q, pkt)
@@ -291,7 +301,7 @@ func (l *LDR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 		l.queuePacket(pkt)
 		l.solicit(pkt.Dst)
 	} else {
-		l.node.DropData(pkt)
+		l.node.DropData(pkt, metrics.DropLinkBreak)
 	}
 }
 
@@ -381,7 +391,7 @@ func (l *LDR) discoveryTimeout(dst routing.NodeID, d *discovery) {
 		if d.retries > l.cfg.RREQRetries {
 			delete(l.active, dst)
 			for _, pkt := range l.pending[dst] {
-				l.node.DropData(pkt)
+				l.node.DropData(pkt, metrics.DropNoRoute)
 			}
 			delete(l.pending, dst)
 			return

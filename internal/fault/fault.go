@@ -200,11 +200,10 @@ func (in *Injector) crash(spec Spec, stream *rng.Source) {
 		if node.Down() {
 			continue
 		}
-		node.SetDown(true)
-		node.MAC().Reset()
-		if r, ok := node.Protocol().(routing.Resetter); ok {
-			r.Reset()
-		}
+		// Crash powers the node off, accounts every data packet wiped from
+		// its MAC queue (DropReset), and resets MAC + volatile protocol
+		// state — see routing.Node.Crash.
+		node.Crash()
 		in.Stats.Crashes++
 		if hold < 0 {
 			continue // fail-stop: the node never comes back

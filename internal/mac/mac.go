@@ -179,6 +179,28 @@ func (m *MAC) SetPromiscuous(fn PromiscuousFunc) { m.promisc = fn }
 // QueueLen returns the number of frames waiting in the interface queue.
 func (m *MAC) QueueLen() int { return len(m.queue) }
 
+// ForEachQueued invokes fn for every frame currently in the interface
+// queue, head first — including an in-flight head still awaiting its
+// ACK. Callers (crash accounting, the conformance census) must not
+// mutate the queue from fn.
+func (m *MAC) ForEachQueued(fn func(*Frame)) {
+	for _, f := range m.queue {
+		fn(f)
+	}
+}
+
+// DataPayload unwraps the network-layer payload from an on-air frame
+// captured at the radio boundary (a delayed delivery held by the fault
+// hook). It returns false for anything that is not a MAC data frame —
+// ACKs, RTS/CTS, or foreign payload types.
+func DataPayload(airPayload any) (any, bool) {
+	af, ok := airPayload.(*airFrame)
+	if !ok || af.kind != airData || af.frame == nil {
+		return nil, false
+	}
+	return af.frame.Payload, true
+}
+
 // SetDown powers the interface off (true) or on (false). While down the
 // MAC neither transmits nor decodes: Send drops frames silently and
 // received signals are ignored. The radio still counts signal energy at

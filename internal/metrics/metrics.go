@@ -42,6 +42,73 @@ func (k ControlKind) String() string {
 	}
 }
 
+// NumControlKinds is the number of distinct control-kind slots, for
+// callers that iterate every ledger (the conformance auditor).
+const NumControlKinds = int(numKinds)
+
+// DropReason classifies why a data packet was dropped. Reason-resolved
+// drop counters let the conformance auditor separate expected losses
+// (no route during discovery, TTL expiry) from the losses that indicate
+// an accounting bug when they go missing (crash/Reset wipes).
+type DropReason uint8
+
+// Data-packet drop reasons across all four protocols.
+const (
+	DropOther DropReason = iota
+	DropNoRoute
+	DropTTL
+	DropQueueOverflow
+	DropLinkBreak
+	DropMalformed
+	DropNodeDown
+	DropReset
+
+	numReasons
+)
+
+// NumDropReasons is the number of distinct drop-reason slots.
+const NumDropReasons = int(numReasons)
+
+// String names the reason for reports.
+func (r DropReason) String() string {
+	switch r {
+	case DropNoRoute:
+		return "no-route"
+	case DropTTL:
+		return "ttl"
+	case DropQueueOverflow:
+		return "queue-overflow"
+	case DropLinkBreak:
+		return "link-break"
+	case DropMalformed:
+		return "malformed"
+	case DropNodeDown:
+		return "node-down"
+	case DropReset:
+		return "reset"
+	default:
+		return "other"
+	}
+}
+
+// PacketFate is the recorded lifecycle state of one (Src, ID) data
+// packet: never seen, initiated and not yet terminal, or terminal.
+type PacketFate uint8
+
+// Packet fates, in lifecycle order.
+const (
+	FateNone PacketFate = iota
+	FateInFlight
+	FateDelivered
+	FateDropped
+)
+
+// packetKey identifies a data packet network-wide.
+type packetKey struct {
+	src int32
+	id  uint64
+}
+
 // Collector accumulates the counters for one simulation run.
 type Collector struct {
 	// Data plane.
@@ -54,6 +121,7 @@ type Collector struct {
 	// Control plane, indexed by ControlKind.
 	ctrlTransmitted [numKinds]uint64
 	ctrlInitiated   [numKinds]uint64
+	ctrlDropped     [numKinds]uint64
 
 	// RREPUsable counts hop-wise usable RREP receptions: a RREP counts once
 	// at every node along its path that can use it to install or improve a
@@ -82,10 +150,104 @@ type Collector struct {
 	AuditSnapshots     uint64
 	LoopViolations     uint64
 	OrderingViolations uint64
+
+	// Packet-conservation ledger: every initiated data packet is tracked
+	// by (Src, ID) until its first terminal event — delivery or drop —
+	// and only that first event counts. Repeat terminal events (a copy
+	// duplicated by the radio fault hook arriving after the original, or
+	// a stale copy dropped after delivery) land in DuplicateDeliveries /
+	// LateDrops instead of inflating the paper's metrics.
+	DuplicateDeliveries uint64 // deliveries suppressed: packet already terminal
+	LateDrops           uint64 // drops suppressed: packet already terminal
+
+	dropByReason [numReasons]uint64
+	fates        map[packetKey]PacketFate
+	inFlight     int64 // initiated packets with no terminal event yet
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
+
+func (c *Collector) fate(src int, id uint64) PacketFate {
+	if c.fates == nil {
+		return FateNone
+	}
+	return c.fates[packetKey{src: int32(src), id: id}]
+}
+
+func (c *Collector) setFate(src int, id uint64, f PacketFate) {
+	if c.fates == nil {
+		c.fates = make(map[packetKey]PacketFate)
+	}
+	c.fates[packetKey{src: int32(src), id: id}] = f
+}
+
+// NoteInitiated records the origination of data packet (src, id) and
+// opens its conservation ledger entry.
+func (c *Collector) NoteInitiated(src int, id uint64) {
+	c.DataInitiated++
+	c.setFate(src, id, FateInFlight)
+	c.inFlight++
+}
+
+// NoteDelivered records an end-to-end delivery of packet (src, id). It
+// returns false — and counts a DuplicateDelivery instead of a delivery —
+// when the packet already had a terminal event: the first terminal event
+// wins, so a radio-duplicated copy arriving after the original cannot
+// inflate DataDelivered or the latency sums. Packets never initiated
+// through the ledger (direct injection in tests) count normally.
+func (c *Collector) NoteDelivered(src int, id uint64) bool {
+	switch c.fate(src, id) {
+	case FateDelivered, FateDropped:
+		c.DuplicateDeliveries++
+		return false
+	case FateInFlight:
+		c.inFlight--
+	}
+	c.setFate(src, id, FateDelivered)
+	c.DataDelivered++
+	return true
+}
+
+// NoteDropped records the loss of packet (src, id) for the given reason.
+// It returns false — and counts a LateDrop instead of a drop — when the
+// packet already had a terminal event (a stale duplicate copy dying
+// after the original was delivered or dropped).
+func (c *Collector) NoteDropped(src int, id uint64, reason DropReason) bool {
+	switch c.fate(src, id) {
+	case FateDelivered, FateDropped:
+		c.LateDrops++
+		return false
+	case FateInFlight:
+		c.inFlight--
+	}
+	c.setFate(src, id, FateDropped)
+	c.DataDropped++
+	if reason < numReasons {
+		c.dropByReason[reason]++
+	} else {
+		c.dropByReason[DropOther]++
+	}
+	return true
+}
+
+// FateOf returns the recorded fate of packet (src, id).
+func (c *Collector) FateOf(src int, id uint64) PacketFate { return c.fate(src, id) }
+
+// InFlight returns the number of initiated data packets with no terminal
+// event yet. Together with the terminal counters it closes the paper's
+// conservation equation: DataInitiated == DataDelivered + DataDropped +
+// InFlight (it can go negative only if packets bypass NoteInitiated,
+// which scenario runs never do).
+func (c *Collector) InFlight() int64 { return c.inFlight }
+
+// DroppedBy returns the drop count for one reason.
+func (c *Collector) DroppedBy(reason DropReason) uint64 {
+	if reason >= numReasons {
+		reason = DropOther
+	}
+	return c.dropByReason[reason]
+}
 
 // CountControlTransmit records one hop-wise control transmission.
 func (c *Collector) CountControlTransmit(k ControlKind) {
@@ -95,6 +257,15 @@ func (c *Collector) CountControlTransmit(k ControlKind) {
 // CountControlInitiate records the first transmission of a control packet.
 func (c *Collector) CountControlInitiate(k ControlKind) {
 	c.ctrlInitiated[kindIndex(k)]++
+}
+
+// CountControlDrop records a control packet discarded before it reached
+// the medium (a jitter queue wiped by a crash, for example). The
+// conformance ledger needs these so initiated packets never appear to
+// vanish without a transmit, a drop, or a queue slot accounting for
+// them.
+func (c *Collector) CountControlDrop(k ControlKind) {
+	c.ctrlDropped[kindIndex(k)]++
 }
 
 // ObserveSeqno records one destination sequence-number sample.
@@ -111,6 +282,11 @@ func (c *Collector) ControlTransmitted(k ControlKind) uint64 {
 // ControlInitiated returns the initiation count for a kind.
 func (c *Collector) ControlInitiated(k ControlKind) uint64 {
 	return c.ctrlInitiated[kindIndex(k)]
+}
+
+// ControlDropped returns the pre-transmission discard count for a kind.
+func (c *Collector) ControlDropped(k ControlKind) uint64 {
+	return c.ctrlDropped[kindIndex(k)]
 }
 
 // TotalControlTransmitted sums hop-wise transmissions over all kinds.

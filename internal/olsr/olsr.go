@@ -205,6 +205,16 @@ func (o *OLSR) Reset() {
 	o.queue.reset()
 }
 
+// WalkHeldControl implements routing.HeldControlWalker: messages sitting
+// in the jitter queue have been counted as initiated (or are relayed
+// floods) but have not reached SendControl yet, so the conformance
+// control ledger must see them as held rather than vanished.
+func (o *OLSR) WalkHeldControl(fn func(metrics.ControlKind)) {
+	for _, msg := range o.queue.queue {
+		fn(msg.Kind())
+	}
+}
+
 // --- periodic emission ---
 
 func (o *OLSR) sendHello() {
@@ -608,7 +618,7 @@ func (o *OLSR) HandleData(_ routing.NodeID, pkt *routing.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		o.node.DropData(pkt)
+		o.node.DropData(pkt, metrics.DropTTL)
 		return
 	}
 	o.forward(pkt)
@@ -620,7 +630,7 @@ func (o *OLSR) forward(pkt *routing.DataPacket) {
 	}
 	next, ok := o.routes[pkt.Dst]
 	if !ok {
-		o.node.DropData(pkt)
+		o.node.DropData(pkt, metrics.DropNoRoute)
 		return
 	}
 	o.node.SendData(next, pkt, nil, func() { o.linkFailure(next, pkt) })
@@ -637,10 +647,10 @@ func (o *OLSR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 	o.dirty = true
 	o.recompute()
 	if alt, ok := o.routes[pkt.Dst]; ok && alt != next {
-		o.node.SendData(alt, pkt, nil, func() { o.node.DropData(pkt) })
+		o.node.SendData(alt, pkt, nil, func() { o.node.DropData(pkt, metrics.DropLinkBreak) })
 		return
 	}
-	o.node.DropData(pkt)
+	o.node.DropData(pkt, metrics.DropLinkBreak)
 }
 
 // --- observability ---
@@ -722,11 +732,14 @@ func (q *jitterQueue) kick() {
 	q.o.node.Schedule(jitter, q.pop)
 }
 
-// reset drops all queued messages (crash path). A pending pop event may
-// still fire; it finds the queue empty, clears busy, and stops — so the
-// flag is deliberately left alone here rather than cleared under it.
+// reset drops all queued messages (crash path), counting each as a
+// pre-transmission control drop so the conformance ledger can still
+// account for every initiated packet. A pending pop event may still
+// fire; it finds the queue empty, clears busy, and stops — so the flag
+// is deliberately left alone here rather than cleared under it.
 func (q *jitterQueue) reset() {
-	for i := range q.queue {
+	for i, msg := range q.queue {
+		q.o.node.Metrics().CountControlDrop(msg.Kind())
 		q.queue[i] = nil
 	}
 	q.queue = q.queue[:0]

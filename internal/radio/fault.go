@@ -27,6 +27,13 @@ type faults struct {
 	dup      float64       // P(frame delivered twice)
 	delayMax time.Duration // uniform extra delivery latency bound
 	src      *rng.Source   // stream for the delivery-fault draws
+
+	// pending holds the payloads of delay-deferred deliveries between the
+	// fault draw and the scheduled hand-off. Without this registry a
+	// delayed frame exists only inside its event closure, invisible to
+	// the conformance auditor's packet census.
+	pending map[uint64]any
+	pendSeq uint64
 }
 
 // FaultStats counts fault-hook activity, for diagnostics and tests.
@@ -139,10 +146,29 @@ func (m *Medium) deliverFaulty(f *faults, rc *reception) {
 		}
 		m.FaultStats.Delayed++
 		from, dst, payload := int(rc.from), int(rc.dst), rc.payload
+		if f.pending == nil {
+			f.pending = make(map[uint64]any)
+		}
+		key := f.pendSeq
+		f.pendSeq++
+		f.pending[key] = payload
 		m.sim.Schedule(delay, func() {
+			delete(f.pending, key)
 			if rx := m.nodes[dst].rx; rx != nil {
 				rx(from, payload)
 			}
 		})
+	}
+}
+
+// ForEachPendingDelivery invokes fn for the payload of every delivery
+// currently deferred by the delay fault hook. Iteration order is
+// unspecified; callers build order-insensitive sets from it.
+func (m *Medium) ForEachPendingDelivery(fn func(payload any)) {
+	if m.flt == nil {
+		return
+	}
+	for _, p := range m.flt.pending {
+		fn(p)
 	}
 }

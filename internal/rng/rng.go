@@ -22,11 +22,18 @@ import (
 type Source struct {
 	s    [4]uint64
 	seed int64 // the seed this stream was created from, for Split
+
+	// draws counts Uint64 calls across the whole split tree: every child
+	// shares its root's counter, so Draws on the root totals the tree. A
+	// cheap determinism fingerprint — two runs of the same scenario must
+	// consume exactly the same number of random words.
+	draws *uint64
 }
 
 // New returns a Source seeded from seed.
 func New(seed int64) *Source {
 	var src Source
+	src.draws = new(uint64)
 	src.Reseed(seed)
 	return &src
 }
@@ -58,11 +65,18 @@ func (r *Source) Reseed(seed int64) {
 func (r *Source) Split(name string) *Source {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
-	return New(int64(h.Sum64()) ^ r.seed)
+	child := New(int64(h.Sum64()) ^ r.seed)
+	child.draws = r.draws // one counter for the whole tree
+	return child
 }
+
+// Draws returns the number of random words drawn so far across this
+// stream and every stream split from it (transitively).
+func (r *Source) Draws() uint64 { return *r.draws }
 
 // Uint64 returns the next 64 random bits (xoshiro256**).
 func (r *Source) Uint64() uint64 {
+	*r.draws++
 	rotl := func(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17

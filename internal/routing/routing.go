@@ -220,7 +220,7 @@ func (n *Node) SendControl(to NodeID, msg Message, onFail func()) {
 // frame is acknowledged.
 func (n *Node) SendData(next NodeID, pkt *DataPacket, onSent, onFail func()) {
 	n.col.DataTransmitted++
-	n.trace(TraceForward, pkt, next)
+	n.trace(TraceForward, pkt, next, 0)
 	n.mac.Send(&mac.Frame{
 		To:      int(next),
 		Bytes:   pkt.Bytes + dataHeaderBytes(pkt),
@@ -242,36 +242,94 @@ func (n *Node) OriginateData(dst NodeID, bytes int) {
 		TTL:    DefaultTTL,
 		SentAt: n.sim.Now(),
 	}
-	n.col.DataInitiated++
-	n.trace(TraceOriginate, pkt, BroadcastID)
+	n.col.NoteInitiated(int(pkt.Src), pkt.ID)
+	n.trace(TraceOriginate, pkt, BroadcastID, 0)
 	if n.down {
 		// The application is down with the node: the packet still counts
 		// as offered load (the flow does not pause for the outage) and is
 		// lost on the spot.
-		n.DropData(pkt)
+		n.DropData(pkt, metrics.DropNodeDown)
 		return
 	}
 	n.proto.Originate(pkt)
 }
 
 // DeliverLocal records the successful end-to-end delivery of a packet
-// destined to this node.
+// destined to this node. A packet whose (Src, ID) already saw a terminal
+// event — the original of a radio-duplicated copy, typically — is
+// suppressed: it neither recounts DataDelivered nor re-accumulates
+// latency, and emits no trace event (the first terminal event wins).
 func (n *Node) DeliverLocal(pkt *DataPacket) {
-	n.col.DataDelivered++
+	if !n.col.NoteDelivered(int(pkt.Src), pkt.ID) {
+		return
+	}
 	lat := n.sim.Now() - pkt.SentAt
 	n.col.TotalLatency += lat
 	n.col.Latency.Observe(lat)
 	if hops := DefaultTTL - pkt.TTL + 1; hops > 0 {
 		n.col.HopsSum += uint64(hops)
 	}
-	n.trace(TraceDeliver, pkt, n.id)
+	n.trace(TraceDeliver, pkt, n.id, 0)
 }
 
-// DropData records a data packet lost at this node (no route, TTL expiry,
-// queue overflow, or link failure with no recovery).
-func (n *Node) DropData(pkt *DataPacket) {
-	n.col.DataDropped++
-	n.trace(TraceDrop, pkt, BroadcastID)
+// DropData records a data packet lost at this node for the given reason
+// (no route, TTL expiry, queue overflow, link failure, crash wipe). Like
+// DeliverLocal it is first-terminal-event-wins: dropping a stale copy of
+// an already-terminal packet only bumps the LateDrops diagnostic.
+func (n *Node) DropData(pkt *DataPacket, reason metrics.DropReason) {
+	if !n.col.NoteDropped(int(pkt.Src), pkt.ID, reason) {
+		return
+	}
+	n.trace(TraceDrop, pkt, BroadcastID, reason)
+}
+
+// Crash models a node crash for the fault injector: the node powers off,
+// every data packet waiting in (or at the head of) its MAC queue is
+// accounted as dropped with DropReset, and the MAC and volatile protocol
+// state are wiped. Without the queue walk those packets would vanish —
+// initiated but never delivered or dropped — and break the conservation
+// equation the conformance auditor enforces.
+func (n *Node) Crash() {
+	n.SetDown(true)
+	n.mac.ForEachQueued(func(f *mac.Frame) {
+		if nf, ok := f.Payload.(*netFrame); ok && nf.data != nil {
+			n.DropData(nf.data, metrics.DropReset)
+		}
+	})
+	n.mac.Reset()
+	if r, ok := n.proto.(Resetter); ok {
+		r.Reset()
+	}
+}
+
+// HeldDataWalker is implemented by protocols that buffer data packets
+// (route-discovery pending queues). The conformance auditor uses it to
+// census every place a live packet can legitimately wait.
+type HeldDataWalker interface {
+	WalkHeldData(fn func(*DataPacket))
+}
+
+// HeldControlWalker is implemented by protocols that queue control
+// messages after counting their initiation but before handing them to
+// SendControl (OLSR's jitter queue). The conformance auditor's control
+// ledger uses it: for every kind, initiated must not exceed transmitted
+// plus dropped plus currently held.
+type HeldControlWalker interface {
+	WalkHeldControl(fn func(metrics.ControlKind))
+}
+
+// WalkHeldData invokes fn for every data packet currently held at this
+// node: frames in the MAC interface queue (including an in-flight head
+// awaiting its ACK) and the protocol's own pending buffers.
+func (n *Node) WalkHeldData(fn func(*DataPacket)) {
+	n.mac.ForEachQueued(func(f *mac.Frame) {
+		if nf, ok := f.Payload.(*netFrame); ok && nf.data != nil {
+			fn(nf.data)
+		}
+	})
+	if w, ok := n.proto.(HeldDataWalker); ok {
+		w.WalkHeldData(fn)
+	}
 }
 
 func (n *Node) deliverFrame(from int, f *mac.Frame) {
@@ -310,6 +368,42 @@ type Network struct {
 	Medium    *radio.Medium
 	Nodes     []*Node
 	Collector *metrics.Collector
+
+	// Root is the RNG stream every per-node stream was split from; its
+	// draw counter totals the whole node tree (see rng.Source.Draws), a
+	// cheap determinism fingerprint for the replay layer.
+	Root *rng.Source
+}
+
+// WalkHeldData invokes fn for every data packet currently held anywhere
+// in the network: node MAC queues, protocol pending buffers, and radio
+// deliveries deferred by the delay fault hook. It is the conformance
+// auditor's census of where live packets can be.
+func (nw *Network) WalkHeldData(fn func(*DataPacket)) {
+	for _, n := range nw.Nodes {
+		n.WalkHeldData(fn)
+	}
+	nw.Medium.ForEachPendingDelivery(func(payload any) {
+		p, ok := mac.DataPayload(payload)
+		if !ok {
+			return
+		}
+		if nf, ok := p.(*netFrame); ok && nf.data != nil {
+			fn(nf.data)
+		}
+	})
+}
+
+// WalkHeldControl invokes fn with the kind of every control message a
+// protocol has initiated but not yet passed to SendControl. Transmission
+// is counted at SendControl (MAC enqueue), so MAC queues and the air
+// need no walking here — only protocol-level staging queues.
+func (nw *Network) WalkHeldControl(fn func(metrics.ControlKind)) {
+	for _, n := range nw.Nodes {
+		if w, ok := n.proto.(HeldControlWalker); ok {
+			w.WalkHeldControl(fn)
+		}
+	}
 }
 
 // ProtocolFactory builds a protocol instance bound to a node.
@@ -328,6 +422,7 @@ func NewNetwork(numNodes int, model mobility.Model, radioCfg radio.Config, macCf
 		Medium:    medium,
 		Nodes:     make([]*Node, numNodes),
 		Collector: col,
+		Root:      root,
 	}
 	for i := 0; i < numNodes; i++ {
 		node := NewNode(NodeID(i), s, medium, macCfg, col, root.Split("node"+strconv.Itoa(i)))

@@ -169,7 +169,7 @@ func TestBroadcastDataCopiesAreIndependent(t *testing.T) {
 
 func TestDropDataCounts(t *testing.T) {
 	nw, _ := build(2)
-	nw.Nodes[0].DropData(&routing.DataPacket{})
+	nw.Nodes[0].DropData(&routing.DataPacket{}, metrics.DropNoRoute)
 	if nw.Collector.DataDropped != 1 {
 		t.Fatal("DropData did not count")
 	}

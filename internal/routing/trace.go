@@ -1,6 +1,10 @@
 package routing
 
-import "time"
+import (
+	"time"
+
+	"github.com/manetlab/ldr/internal/metrics"
+)
 
 // TraceEventKind labels a packet-lifecycle event.
 type TraceEventKind uint8
@@ -39,6 +43,9 @@ type TraceEvent struct {
 	Dst  NodeID // packet destination
 	ID   uint64 // origin-assigned packet id
 	Next NodeID // forward: the chosen next hop
+
+	// Reason classifies drop events; zero for other kinds.
+	Reason metrics.DropReason
 }
 
 // Tracer receives packet lifecycle events. Implementations must be cheap:
@@ -57,18 +64,31 @@ func (nw *Network) SetTracer(t Tracer) {
 // SetTracer installs a tracer on this node (nil disables).
 func (n *Node) SetTracer(t Tracer) { n.tracer = t }
 
-func (n *Node) trace(kind TraceEventKind, pkt *DataPacket, next NodeID) {
+// MultiTracer fans every event out to each member in order, letting
+// independent consumers (a conservation ledger and a replay log, say)
+// observe one run without knowing about each other.
+type MultiTracer []Tracer
+
+// Trace implements Tracer.
+func (m MultiTracer) Trace(ev TraceEvent) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+func (n *Node) trace(kind TraceEventKind, pkt *DataPacket, next NodeID, reason metrics.DropReason) {
 	if n.tracer == nil {
 		return
 	}
 	n.tracer.Trace(TraceEvent{
-		At:   n.sim.Now(),
-		Kind: kind,
-		Node: n.id,
-		Src:  pkt.Src,
-		Dst:  pkt.Dst,
-		ID:   pkt.ID,
-		Next: next,
+		At:     n.sim.Now(),
+		Kind:   kind,
+		Node:   n.id,
+		Src:    pkt.Src,
+		Dst:    pkt.Dst,
+		ID:     pkt.ID,
+		Next:   next,
+		Reason: reason,
 	})
 }
 

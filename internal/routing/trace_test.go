@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/manetlab/ldr/internal/metrics"
 	"github.com/manetlab/ldr/internal/routing"
 )
 
@@ -27,7 +28,7 @@ func (p *relayProtocol) HandleData(_ routing.NodeID, pkt *routing.DataPacket) {
 }
 func (p *relayProtocol) forward(pkt *routing.DataPacket) {
 	if p.node.ID() == p.last {
-		p.node.DropData(pkt)
+		p.node.DropData(pkt, metrics.DropNoRoute)
 		return
 	}
 	p.node.SendData(p.node.ID()+1, pkt, nil, nil)

@@ -73,6 +73,11 @@ type Config struct {
 	// ordering violations are scored into the collector (AuditSnapshots,
 	// LoopViolations, OrderingViolations).
 	AuditCadence time.Duration
+
+	// RadioConfig overrides the radio medium configuration (nil selects
+	// radio.DefaultConfig). The conformance replay tests use it to pit
+	// grid fast-path settings against each other on one seed.
+	RadioConfig *radio.Config
 }
 
 // Nodes50 is the paper's 50-node scenario skeleton.
@@ -118,11 +123,14 @@ type SeqnoReporter interface {
 	ReportSeqnos(*metrics.Collector)
 }
 
-// Instruments are the optional per-run fault instruments; fields are nil
-// when the config does not enable them.
+// Instruments are the optional per-run fault instruments; Injector and
+// Auditor are nil when the config does not enable them. Root is the
+// scenario-level RNG root (mobility, traffic, faults); together with
+// routing.Network.Root it accounts for every random draw of the run.
 type Instruments struct {
 	Injector *fault.Injector
 	Auditor  *fault.Auditor
+	Root     *rng.Source
 }
 
 // Build constructs the network and workload without running them, for
@@ -150,10 +158,14 @@ func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instr
 
 	macCfg := mac.DefaultConfig()
 	macCfg.RTSCTSEnabled = cfg.RTSCTS
-	nw := routing.NewNetwork(cfg.Nodes, model, radio.DefaultConfig(), macCfg, cfg.Seed, factory)
+	radioCfg := radio.DefaultConfig()
+	if cfg.RadioConfig != nil {
+		radioCfg = *cfg.RadioConfig
+	}
+	nw := routing.NewNetwork(cfg.Nodes, model, radioCfg, macCfg, cfg.Seed, factory)
 	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, traffic.DefaultConfig(cfg.Flows, cfg.SimTime), root.Split("traffic"))
 
-	inst := &Instruments{}
+	inst := &Instruments{Root: root}
 	if cfg.FaultPlan != nil {
 		inst.Injector = fault.NewInjector(nw, *cfg.FaultPlan, root.Split("fault"), cfg.SimTime)
 		inst.Injector.Start()

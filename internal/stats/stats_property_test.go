@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSummarizeNeverProducesNonFinite: for any nonempty sample of finite
+// values, every Summary field must be finite — no NaN or ±Inf can leak
+// into reported tables.
+func TestSummarizeNeverProducesNonFinite(t *testing.T) {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	prop := func(raw []float64, extra float64) bool {
+		// Map arbitrary inputs onto a nonempty, finite sample.
+		xs := append(raw, extra)
+		for i, x := range xs {
+			if !finite(x) {
+				xs[i] = 0
+			}
+			// Clamp so intermediate sums of squares cannot overflow;
+			// 1e150² = 1e300 is still finite.
+			xs[i] = math.Mod(xs[i], 1e150)
+		}
+		s := Summarize(xs)
+		return s.N == len(xs) &&
+			finite(s.Mean) && finite(s.SD) && finite(s.CI95) &&
+			s.SD >= 0 && s.CI95 >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 2000,
+		Rand:     rand.New(rand.NewSource(1)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSummarizeConstantSample: a constant sample has zero spread and a
+// zero-width interval, exactly.
+func TestSummarizeConstantSample(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 3.25
+		}
+		s := Summarize(xs)
+		if s.Mean != 3.25 || s.SD != 0 || s.CI95 != 0 {
+			t.Fatalf("n=%d: Summary = %+v, want mean 3.25, SD 0, CI95 0", n, s)
+		}
+	}
+}
+
+// TestTCriticalTableBoundary pins the hand-off from the Student t table
+// to the normal approximation: df 30 is the last table entry (2.042),
+// df 31 is the first normal value (1.96), and the critical value must
+// decrease monotonically toward it through the whole table.
+func TestTCriticalTableBoundary(t *testing.T) {
+	if got := tCritical(30); got != 2.042 {
+		t.Fatalf("tCritical(30) = %v, want 2.042 (last table entry)", got)
+	}
+	if got := tCritical(31); got != 1.96 {
+		t.Fatalf("tCritical(31) = %v, want 1.96 (normal approximation)", got)
+	}
+	if got := tCritical(1); got != 12.706 {
+		t.Fatalf("tCritical(1) = %v, want 12.706", got)
+	}
+	for df := 2; df <= 40; df++ {
+		if tCritical(df) > tCritical(df-1) {
+			t.Fatalf("tCritical(%d) = %v > tCritical(%d) = %v; must be non-increasing",
+				df, tCritical(df), df-1, tCritical(df-1))
+		}
+	}
+	if got := tCritical(0); !math.IsNaN(got) {
+		t.Fatalf("tCritical(0) = %v, want NaN (undefined)", got)
+	}
+}
+
+// TestOverlapsDegenerateIntervals: N=1 summaries have CI95 == 0, so
+// their "interval" is a point. Two points overlap only when equal, and
+// a point overlaps a wide interval exactly when it lies inside it.
+func TestOverlapsDegenerateIntervals(t *testing.T) {
+	point := func(v float64) Summary { return Summarize([]float64{v}) }
+	a, b := point(5), point(5)
+	if a.CI95 != 0 || a.N != 1 {
+		t.Fatalf("Summarize of one value = %+v, want N 1, CI95 0", a)
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("equal point intervals must overlap")
+	}
+	c := point(5.000001)
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Fatal("distinct point intervals must not overlap")
+	}
+	wide := Summary{N: 3, Mean: 4, CI95: 2} // interval [2, 6]
+	if !a.Overlaps(wide) || !wide.Overlaps(a) {
+		t.Fatal("point 5 must overlap interval [2,6]")
+	}
+	outside := point(7)
+	if outside.Overlaps(wide) || wide.Overlaps(outside) {
+		t.Fatal("point 7 must not overlap interval [2,6]")
+	}
+	edge := point(6)
+	if !edge.Overlaps(wide) || !wide.Overlaps(edge) {
+		t.Fatal("point 6 on the closed boundary of [2,6] must overlap")
+	}
+}
+
+// TestOverlapsIsSymmetric: Overlaps(a,b) == Overlaps(b,a) for arbitrary
+// finite summaries.
+func TestOverlapsIsSymmetric(t *testing.T) {
+	prop := func(m1, w1, m2, w2 float64) bool {
+		mk := func(m, w float64) Summary {
+			if math.IsNaN(m) || math.IsInf(m, 0) {
+				m = 0
+			}
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				w = 0
+			}
+			return Summary{N: 2, Mean: math.Mod(m, 1e12), CI95: math.Abs(math.Mod(w, 1e12))}
+		}
+		a, b := mk(m1, w1), mk(m2, w2)
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 2000,
+		Rand:     rand.New(rand.NewSource(2)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
