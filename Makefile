@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race fuzz-smoke chaos bench bench-chaos bench-all examples experiments clean
+.PHONY: all check build test vet race fuzz-smoke chaos adversary bench bench-chaos bench-adversary bench-all examples experiments clean
 
 all: check
 
-check: build vet test race fuzz-smoke
+check: build vet test race fuzz-smoke adversary
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,21 @@ fuzz-smoke:
 chaos:
 	$(GO) test -race -timeout 60m ./internal/fault/ -run .
 	$(GO) test -race -timeout 60m ./internal/experiments/ -run Chaos
+
+# The Byzantine-node suite under the race detector: LDR's loop-freedom
+# property under every attack profile, the committed AODV forged-seqno
+# loop regression seed, attack accounting, storm suppression, and
+# attacked-run determinism.
+adversary:
+	$(GO) test -race -timeout 60m ./internal/adversary/ -run .
+
+# Attack impact at paper scale (delivery under attack vs baseline,
+# control amplification, accounted adversary drops, NDC rejections),
+# recorded as BENCH_adversary.json.
+bench-adversary:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench AttackImpact -benchtime 2x \
+		./internal/adversary/ | tee /dev/stderr | /tmp/benchjson -o BENCH_adversary.json
 
 # Audit-hook overhead on the 50-node scenario (the <10% acceptance bar),
 # recorded as BENCH_chaos.json.

@@ -7,6 +7,9 @@
 //	ldrbench -exp table1 -simtime 900s -trials 10   # the paper's full setup
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, ablation, all.
+//
+// Output is deterministic: byte-identical for the same flags at any
+// -workers setting.
 package main
 
 import (
@@ -36,7 +39,32 @@ func run() error {
 		protos  = flag.String("protocols", "", "comma-separated protocol subset (default: ldr,aodv,dsr,olsr)")
 		workers = flag.Int("workers", 0, "concurrent scenario cells; 0 = GOMAXPROCS, 1 = serial (output is identical either way)")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "usage: ldrbench [flags]\n\n")
+		fmt.Fprintf(w, "Regenerate the tables and figures of the LDR paper's evaluation (§4):\n")
+		fmt.Fprintf(w, "each experiment sweeps the paper's scenario parameters, aggregates\n")
+		fmt.Fprintf(w, "repeated trials into mean ± 95%% CI, and prints the rows the paper\n")
+		fmt.Fprintf(w, "reports. Output is byte-identical at any -workers setting.\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(w, "\nExamples:\n")
+		fmt.Fprintf(w, "  ldrbench -exp table1 -simtime 900s -trials 10   # the paper's full setup\n")
+		fmt.Fprintf(w, "  ldrbench -exp fig3 -protocols ldr,aodv\n")
+	}
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (ldrbench takes only flags)", flag.Arg(0))
+	}
+	if *trials < 1 {
+		return fmt.Errorf("-trials must be at least 1 (got %d)", *trials)
+	}
+	if *simTime <= 0 {
+		return fmt.Errorf("-simtime must be positive (got %v)", *simTime)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0 (got %d; 0 means GOMAXPROCS)", *workers)
+	}
 
 	opts := experiments.Options{
 		Trials:   *trials,
@@ -47,7 +75,12 @@ func run() error {
 	}
 	if *protos != "" {
 		for _, p := range strings.Split(*protos, ",") {
-			opts.Protocols = append(opts.Protocols, scenario.ProtocolName(strings.TrimSpace(p)))
+			name := scenario.ProtocolName(strings.TrimSpace(p))
+			// Resolve now for a clean error before any simulation runs.
+			if _, err := scenario.Factory(name, nil); err != nil {
+				return err
+			}
+			opts.Protocols = append(opts.Protocols, name)
 		}
 	}
 
@@ -89,5 +122,9 @@ func run() error {
 			return e.fn(opts)
 		}
 	}
-	return fmt.Errorf("unknown experiment %q", *exp)
+	names := make([]string, 0, len(all)+1)
+	for _, e := range all {
+		names = append(names, e.name)
+	}
+	return fmt.Errorf("unknown experiment %q (have %s, all)", *exp, strings.Join(names, ", "))
 }

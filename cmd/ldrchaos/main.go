@@ -14,6 +14,19 @@
 // routes into persistent loops, while LDR's persisted destination
 // sequence numbers and feasible-distance labels keep its count at zero.
 //
+// With -adversary the suite switches from crash faults to Byzantine
+// nodes: compromised nodes blackhole data, forge sequence numbers,
+// replay stale labels, and flood control storms (see internal/adversary)
+// while every attacked run is paired against an attack-free baseline on
+// the same seed to report delivery impact and the control-amplification
+// factor.
+//
+//	ldrchaos -adversary all
+//	ldrchaos -adversary seqno-forge,storm -protocols ldr,aodv
+//
+// Adversary profiles: none, blackhole, grayhole, seqno-forge, replay,
+// storm, byzantine.
+//
 // Output is deterministic: byte-identical for the same flags at any
 // -workers setting.
 package main
@@ -25,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/manetlab/ldr/internal/adversary"
 	"github.com/manetlab/ldr/internal/experiments"
 	"github.com/manetlab/ldr/internal/fault"
 	"github.com/manetlab/ldr/internal/scenario"
@@ -40,6 +54,7 @@ func main() {
 func run() error {
 	var (
 		profiles = flag.String("profiles", "", "comma-separated fault profiles (default: all of "+strings.Join(fault.ProfileNames(), ",")+")")
+		adv      = flag.String("adversary", "", "run the Byzantine-node suite instead: comma-separated adversary profiles, or \"all\" for "+strings.Join(adversary.ProfileNames(), ","))
 		protos   = flag.String("protocols", "", "comma-separated protocol subset (default: ldr,aodv,dsr,olsr)")
 		trials   = flag.Int("trials", 3, "trials (seeds) per cell; must be ≥ 1")
 		simTime  = flag.Duration("simtime", 120*time.Second, "simulated time per run; must be > 0")
@@ -53,11 +68,16 @@ func run() error {
 		fmt.Fprintf(w, "Run the fault-injection suite: every protocol under every fault profile\n")
 		fmt.Fprintf(w, "(crash/reboot, link flapping, partitions, lossy delivery) with the\n")
 		fmt.Fprintf(w, "continuous loopcheck auditor scoring invariant violations throughout.\n")
+		fmt.Fprintf(w, "With -adversary, run the Byzantine-node suite instead: compromised nodes\n")
+		fmt.Fprintf(w, "blackhole, forge sequence numbers, replay stale labels, and flood storms,\n")
+		fmt.Fprintf(w, "each attacked run paired with an attack-free baseline on the same seed.\n")
 		fmt.Fprintf(w, "Output is byte-identical for the same flags at any -workers setting.\n\nFlags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(w, "\nExamples:\n")
 		fmt.Fprintf(w, "  ldrchaos -profiles reboot,mayhem -trials 5\n")
 		fmt.Fprintf(w, "  ldrchaos -protocols ldr,aodv -simtime 900s -trials 10\n")
+		fmt.Fprintf(w, "  ldrchaos -adversary all\n")
+		fmt.Fprintf(w, "  ldrchaos -adversary seqno-forge,storm -protocols ldr,aodv\n")
 	}
 	flag.Parse()
 
@@ -85,6 +105,9 @@ func run() error {
 		Workers:      *workers,
 		AuditCadence: *audit,
 	}
+	if *profiles != "" && *adv != "" {
+		return fmt.Errorf("-profiles and -adversary are mutually exclusive (fault suite vs Byzantine suite)")
+	}
 	if *profiles != "" {
 		for _, p := range strings.Split(*profiles, ",") {
 			name := strings.TrimSpace(p)
@@ -93,6 +116,16 @@ func run() error {
 				return err
 			}
 			opts.FaultProfiles = append(opts.FaultProfiles, name)
+		}
+	}
+	if *adv != "" && *adv != "all" {
+		for _, p := range strings.Split(*adv, ",") {
+			name := strings.TrimSpace(p)
+			// Resolve now for a clean error before any simulation runs.
+			if _, err := adversary.Profile(name, 50, *simTime); err != nil {
+				return err
+			}
+			opts.AdversaryProfiles = append(opts.AdversaryProfiles, name)
 		}
 	}
 	if *protos != "" {
@@ -104,6 +137,9 @@ func run() error {
 			}
 			opts.Protocols = append(opts.Protocols, name)
 		}
+	}
+	if *adv != "" {
+		return experiments.Adversary(opts)
 	}
 	return experiments.Chaos(opts)
 }

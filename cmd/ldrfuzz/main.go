@@ -1,14 +1,20 @@
 // Command ldrfuzz sweeps randomized scenarios through the conformance
 // harness: every run is audited continuously for packet conservation
 // (initiated == delivered + dropped + in-flight), at-most-once delivery,
-// control-ledger consistency, and — for LDR — loop freedom. Violating
-// scenarios are greedily shrunk (drop flows, drop faults, shorten
-// simtime) into minimal reproducers and printed as JSON specs ready to
-// commit under internal/conformance/testdata/.
+// control-ledger consistency, and — for LDR — loop freedom. Each scenario
+// also draws an adversary profile (Byzantine nodes that blackhole, forge
+// sequence numbers, replay stale labels, or flood storms), so the fuzzer
+// hunts for invariant breaks under attack as well as under faults.
+// Violating scenarios are greedily shrunk (drop flows, drop faults, drop
+// the adversary, shorten simtime) into minimal reproducers and printed as
+// JSON specs ready to commit under internal/conformance/testdata/ — or,
+// when the surviving ingredient is the adversary, under
+// internal/adversary/testdata/.
 //
 //	ldrfuzz                          # 32 runs, all protocols × profiles
 //	ldrfuzz -runs 200 -seed 7
 //	ldrfuzz -protocols ldr,aodv -profiles reboot,mayhem -shrink=false
+//	ldrfuzz -adversaries seqno-forge,byzantine -profiles none
 //	ldrfuzz -runs 8 -max-nodes 20 -max-simtime 12s   # the smoke bound
 //
 // The sweep is deterministic in (-seed, -runs): the -workers setting
@@ -25,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/manetlab/ldr/internal/adversary"
 	"github.com/manetlab/ldr/internal/conformance"
 	"github.com/manetlab/ldr/internal/fault"
 	"github.com/manetlab/ldr/internal/scenario"
@@ -44,6 +51,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "concurrent runs; 0 = GOMAXPROCS, 1 = serial (findings identical either way)")
 		protocols  = flag.String("protocols", "", "comma-separated protocol subset (default: ldr,aodv,dsr,olsr)")
 		profiles   = flag.String("profiles", "", "comma-separated fault profiles (default: all of "+strings.Join(fault.ProfileNames(), ",")+")")
+		advs       = flag.String("adversaries", "", "comma-separated adversary profiles (default: all of "+strings.Join(adversary.ProfileNames(), ",")+")")
 		maxNodes   = flag.Int("max-nodes", 30, "node-count upper bound (≥ 8)")
 		maxSimTime = flag.Duration("max-simtime", 45*time.Second, "simulated-length upper bound (≥ 5s)")
 		shrink     = flag.Bool("shrink", true, "minimize findings into small reproducers")
@@ -54,13 +62,16 @@ func run() error {
 		fmt.Fprintf(w, "usage: ldrfuzz [flags]\n\n")
 		fmt.Fprintf(w, "Fuzz randomized ad hoc network scenarios through the conformance\n")
 		fmt.Fprintf(w, "harness (packet conservation, at-most-once delivery, control ledgers,\n")
-		fmt.Fprintf(w, "LDR loop freedom) and shrink any violation into a minimal reproducer.\n")
-		fmt.Fprintf(w, "Findings are printed as JSON specs for internal/conformance/testdata/\n")
-		fmt.Fprintf(w, "and make the exit status 1.\n\nFlags:\n")
+		fmt.Fprintf(w, "LDR loop freedom), drawing both a fault profile and a Byzantine\n")
+		fmt.Fprintf(w, "adversary profile per scenario, and shrink any violation into a minimal\n")
+		fmt.Fprintf(w, "reproducer. Findings are printed as JSON specs for\n")
+		fmt.Fprintf(w, "internal/conformance/testdata/ (or internal/adversary/testdata/ when\n")
+		fmt.Fprintf(w, "the adversary is what survives shrinking) and make the exit status 1.\n\nFlags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(w, "\nExamples:\n")
 		fmt.Fprintf(w, "  ldrfuzz -runs 200 -seed 7\n")
 		fmt.Fprintf(w, "  ldrfuzz -protocols ldr -profiles mayhem -shrink=false\n")
+		fmt.Fprintf(w, "  ldrfuzz -adversaries seqno-forge,byzantine -profiles none\n")
 	}
 	flag.Parse()
 
@@ -115,6 +126,16 @@ func run() error {
 				}
 			}
 			opts.Profiles = append(opts.Profiles, name)
+		}
+	}
+	if *advs != "" {
+		for _, p := range strings.Split(*advs, ",") {
+			name := strings.TrimSpace(p)
+			// Resolve now for a clean error before any simulation runs.
+			if _, err := adversary.Profile(name, 50, time.Minute); err != nil {
+				return err
+			}
+			opts.Adversaries = append(opts.Adversaries, name)
 		}
 	}
 

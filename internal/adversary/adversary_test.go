@@ -1,0 +1,261 @@
+package adversary_test
+
+// Attack-property tests for the Byzantine-node subsystem: LDR's honest
+// subgraph must stay loop-free under every attack profile, the forged-
+// seqno loop AODV is known to form must reproduce from the committed
+// regression seed, every attack's packet accounting must balance, the
+// receive-side rate limiters must actually suppress storms, and attacked
+// runs must be bit-equal across repeats.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/adversary"
+	"github.com/manetlab/ldr/internal/conformance"
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+// attackConfig is the reduced-scale rig the property tests run, matching
+// the fault suite's: 25 nodes on a 1000 m × 300 m strip, dense enough
+// that compromised nodes sit on real multi-hop routes.
+func attackConfig(proto scenario.ProtocolName, seed int64, plan *adversary.Plan) scenario.Config {
+	return scenario.Config{
+		Protocol:      proto,
+		Nodes:         25,
+		Terrain:       mobility.Terrain{Width: 1000, Height: 300},
+		Flows:         5,
+		PauseTime:     0,
+		MinSpeed:      1,
+		MaxSpeed:      20,
+		SimTime:       20 * time.Second,
+		Seed:          seed,
+		AdversaryPlan: plan,
+		AuditCadence:  50 * time.Millisecond,
+	}
+}
+
+func attackPlan(t *testing.T, profile string) *adversary.Plan {
+	t.Helper()
+	plan, err := adversary.Profile(profile, 25, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &plan
+}
+
+// TestLDRCleanUnderEveryAdversary is the headline property from the
+// paper's §5: destination-controlled sequence numbers plus the NDC
+// feasibility check keep the honest successor graph loop-free and
+// ordering-correct no matter what compromised neighbors forge, replay,
+// or flood. The conformance harness audits conservation in the same
+// runs, so attacked drops must also stay fully accounted.
+func TestLDRCleanUnderEveryAdversary(t *testing.T) {
+	for _, profile := range adversary.ProfileNames() {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", profile, seed), func(t *testing.T) {
+				spec := conformance.Spec{
+					Protocol: string(scenario.LDR), Nodes: 25, Flows: 5,
+					SimTimeSec: 20, Seed: seed,
+					Profile: "none", Adversary: profile, AuditMS: 50,
+				}
+				r, err := conformance.CheckSpec(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Total != 0 {
+					t.Errorf("conservation violated under %s: %d violations (first: %v)",
+						profile, r.Total, r.Violations)
+				}
+				c := r.Collector
+				if c.LoopViolations != 0 || c.OrderingViolations != 0 {
+					t.Errorf("LDR honest subgraph violated invariants under %s: loops=%d ordering=%d",
+						profile, c.LoopViolations, c.OrderingViolations)
+				}
+			})
+		}
+	}
+}
+
+// TestAODVSeqnoForgeryLoopRegression replays the committed shrunk
+// reproducer: forged maximal-seqno replies with varying hop-count lies
+// stitch honest AODV nodes into successor-graph loops, while packet
+// conservation stays clean — the failure is protocol logic, not
+// accounting.
+func TestAODVSeqnoForgeryLoopRegression(t *testing.T) {
+	spec, err := conformance.LoadSpec(filepath.Join("testdata", "aodv-seqno-loop.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := conformance.CheckSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total != 0 {
+		t.Errorf("conservation violated: %d violations (first: %v)", r.Total, r.Violations)
+	}
+	if r.Collector.LoopViolations == 0 {
+		t.Errorf("regression seed no longer reproduces the AODV forged-seqno loop (spec %s)", spec)
+	}
+}
+
+// TestLDRImmuneToCommittedAODVLoop runs the very same reproducer with
+// the protocol swapped to LDR: zero loop violations, with the NDC
+// feasibility counter showing the forged advertisements were seen and
+// refused rather than never offered.
+func TestLDRImmuneToCommittedAODVLoop(t *testing.T) {
+	spec, err := conformance.LoadSpec(filepath.Join("testdata", "aodv-seqno-loop.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Protocol = string(scenario.LDR)
+	r, err := conformance.CheckSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Collector
+	if r.Total != 0 || c.LoopViolations != 0 || c.OrderingViolations != 0 {
+		t.Errorf("LDR on the AODV loop seed: conservation=%d loops=%d ordering=%d",
+			r.Total, c.LoopViolations, c.OrderingViolations)
+	}
+	if c.FeasibilityRejections == 0 {
+		t.Error("expected NDC feasibility rejections while refusing forged advertisements, got none")
+	}
+}
+
+// TestConservationUnderByzantine: every protocol's packet ledger must
+// balance under the kitchen-sink profile — dropping, forging, and
+// flooding at once.
+func TestConservationUnderByzantine(t *testing.T) {
+	for _, proto := range scenario.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			spec := conformance.Spec{
+				Protocol: string(proto), Nodes: 25, Flows: 5,
+				SimTimeSec: 20, Seed: 2,
+				Profile: "none", Adversary: "byzantine", AuditMS: 50,
+			}
+			r, err := conformance.CheckSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Total != 0 {
+				t.Errorf("conservation violated: %d violations (first: %v)", r.Total, r.Violations)
+			}
+		})
+	}
+}
+
+// TestBlackholeDropsAccounted: every packet a blackhole eats must appear
+// as an accounted DropAdversary, and the engine's own count must agree
+// with the collector's.
+func TestBlackholeDropsAccounted(t *testing.T) {
+	for _, proto := range scenario.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			res, err := scenario.Run(attackConfig(proto, 1, attackPlan(t, "blackhole")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dropped := res.Collector.DroppedBy(metrics.DropAdversary)
+			if res.Adversary.Compromised == 0 {
+				t.Fatal("blackhole profile compromised no nodes")
+			}
+			if dropped == 0 {
+				t.Errorf("%s: blackholes on 2/25 nodes ate no transit data over 20 s", proto)
+			}
+			if dropped != res.Adversary.DataDropped {
+				t.Errorf("ledger mismatch: collector counts %d adversary drops, engine counts %d",
+					dropped, res.Adversary.DataDropped)
+			}
+		})
+	}
+}
+
+// TestStormSuppression: the per-neighbor token buckets in LDR and AODV
+// must actually discard flood traffic — the receive-side hardening the
+// Storm behavior exists to exercise.
+func TestStormSuppression(t *testing.T) {
+	for _, proto := range []scenario.ProtocolName{scenario.LDR, scenario.AODV} {
+		t.Run(string(proto), func(t *testing.T) {
+			res, err := scenario.Run(attackConfig(proto, 1, attackPlan(t, "storm")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Adversary.StormRREQs == 0 {
+				t.Fatal("storm profile flooded nothing")
+			}
+			if res.Collector.RREQSuppressed == 0 {
+				t.Errorf("%s: %d forged RREQs flooded but the rate limiter suppressed none",
+					proto, res.Adversary.StormRREQs)
+			}
+		})
+	}
+}
+
+// TestAdversaryDeterminism: an attacked run is a pure function of its
+// config — stats, delivery, control volume, and audit counters must be
+// bit-equal across repeats.
+func TestAdversaryDeterminism(t *testing.T) {
+	cfg := attackConfig(scenario.AODV, 7, attackPlan(t, "byzantine"))
+	a, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Adversary != b.Adversary {
+		t.Errorf("adversary stats diverged:\n%+v\n%+v", a.Adversary, b.Adversary)
+	}
+	type digest struct {
+		delivered, dropped, ctrl, loops uint64
+	}
+	da := digest{a.Collector.DataDelivered, a.Collector.DataDropped, a.Collector.TotalControlTransmitted(), a.Collector.LoopViolations}
+	db := digest{b.Collector.DataDelivered, b.Collector.DataDropped, b.Collector.TotalControlTransmitted(), b.Collector.LoopViolations}
+	if da != db {
+		t.Errorf("collector counters diverged:\n%+v\n%+v", da, db)
+	}
+}
+
+// TestProfileValidation: unknown names must error with the candidate
+// list, and every advertised name must resolve.
+func TestProfileValidation(t *testing.T) {
+	if _, err := adversary.Profile("bogus", 25, time.Minute); err == nil {
+		t.Error("unknown profile resolved without error")
+	}
+	for _, name := range adversary.ProfileNames() {
+		if _, err := adversary.Profile(name, 25, time.Minute); err != nil {
+			t.Errorf("advertised profile %q failed to resolve: %v", name, err)
+		}
+	}
+}
+
+// TestExplicitVictims: a compromise naming explicit nodes must wrap
+// exactly those nodes, regardless of the random stream.
+func TestExplicitVictims(t *testing.T) {
+	plan := adversary.Plan{Name: "explicit", Compromises: []adversary.Compromise{
+		{Behavior: adversary.Blackhole, Nodes: []int{3, 7}},
+	}}
+	cfg := attackConfig(scenario.LDR, 1, &plan)
+	nw, gen, inst, err := scenario.BuildInstrumented(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gen
+	_ = nw
+	eng := inst.Adversary
+	if eng == nil {
+		t.Fatal("no adversary engine installed")
+	}
+	got := eng.Compromised()
+	if len(got) != 2 || int(got[0]) != 3 || int(got[1]) != 7 {
+		t.Errorf("compromised %v, want [3 7]", got)
+	}
+	if !eng.IsCompromised(3) || eng.IsCompromised(4) {
+		t.Error("IsCompromised disagrees with the explicit victim list")
+	}
+}

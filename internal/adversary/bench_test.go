@@ -1,0 +1,69 @@
+package adversary_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/adversary"
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+// BenchmarkAttackImpact records what each attack profile costs the two
+// on-demand protocols at paper scale (50 nodes, 10 flows, 30 s): an
+// attacked run paired with an attack-free baseline on the same seed per
+// iteration, reported as custom metrics — delivery under attack vs
+// baseline, the control-amplification factor (attacked control
+// transmissions / baseline), accounted adversary drops, and the NDC
+// feasibility rejections that are LDR's defense doing its work. The
+// `make bench-adversary` target snapshots these into
+// BENCH_adversary.json.
+func BenchmarkAttackImpact(b *testing.B) {
+	for _, profile := range adversary.ProfileNames() {
+		if profile == "none" {
+			continue
+		}
+		for _, proto := range []scenario.ProtocolName{scenario.LDR, scenario.AODV} {
+			b.Run(profile+"/"+string(proto), func(b *testing.B) {
+				plan, err := adversary.Profile(profile, 50, 30*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var attacked, baseline, ctrlAtk, ctrlBase, drops, feasRej, loops float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					base := scenario.Nodes50(proto, 10, 0, int64(i+1))
+					base.SimTime = 30 * time.Second
+					base.AuditCadence = 100 * time.Millisecond
+					bres, err := scenario.Run(base)
+					if err != nil {
+						b.Fatal(err)
+					}
+					atk := base
+					atk.AdversaryPlan = &plan
+					ares, err := scenario.Run(atk)
+					if err != nil {
+						b.Fatal(err)
+					}
+					attacked += 100 * ares.Collector.DeliveryRatio()
+					baseline += 100 * bres.Collector.DeliveryRatio()
+					ctrlAtk += float64(ares.Collector.TotalControlTransmitted())
+					ctrlBase += float64(bres.Collector.TotalControlTransmitted())
+					drops += float64(ares.Collector.DroppedBy(metrics.DropAdversary))
+					feasRej += float64(ares.Collector.FeasibilityRejections)
+					loops += float64(ares.Collector.LoopViolations)
+				}
+				b.StopTimer()
+				n := float64(b.N)
+				b.ReportMetric(attacked/n, "delivery-%")
+				b.ReportMetric(baseline/n, "baseline-%")
+				if ctrlBase > 0 {
+					b.ReportMetric(ctrlAtk/ctrlBase, "caf")
+				}
+				b.ReportMetric(drops/n, "adv-drops/run")
+				b.ReportMetric(feasRej/n, "feas-rej/run")
+				b.ReportMetric(loops/n, "loops/run")
+			})
+		}
+	}
+}

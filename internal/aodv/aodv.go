@@ -47,6 +47,17 @@ type Config struct {
 	// packet and pushing a RERR all the way upstream (draft-10 §8.12).
 	LocalRepair   bool
 	MaxRepairHops int
+
+	// Per-neighbor control hardening (internal/adversary): RREQs and
+	// RERRs arriving from one neighbor faster than these token-bucket
+	// rates are discarded on receipt, bounding the reach of a control
+	// storm to the attacker's own links. The defaults sit far above any
+	// benign per-neighbor rate (a neighbor relays each flood once), so
+	// honest discovery is untouched; zero disables a limiter.
+	RREQRatePerNeighbor float64 // sustained RREQs/sec accepted per neighbor
+	RREQRateBurst       int     // bucket depth for RREQ bursts
+	RERRRatePerNeighbor float64 // sustained RERRs/sec accepted per neighbor
+	RERRRateBurst       int     // bucket depth for RERR bursts
 }
 
 // DefaultConfig returns the draft-10 defaults used in the paper's
@@ -68,6 +79,11 @@ func DefaultConfig() Config {
 		HelloInterval:    time.Second,
 		AllowedHelloLoss: 2,
 		MaxRepairHops:    3,
+
+		RREQRatePerNeighbor: 20,
+		RREQRateBurst:       40,
+		RERRRatePerNeighbor: 10,
+		RERRRateBurst:       20,
 	}
 }
 
@@ -169,6 +185,9 @@ type AODV struct {
 	helloTimer *sim.Event
 	nextReqID  uint32
 	stopped    bool
+
+	rreqLimiter *routing.RateLimiter
+	rerrLimiter *routing.RateLimiter
 }
 
 var (
@@ -189,6 +208,9 @@ func New(node *routing.Node, cfg Config) *AODV {
 		active:    make(map[routing.NodeID]*discovery),
 		lastHeard: make(map[routing.NodeID]time.Duration),
 		repairing: make(map[routing.NodeID]bool),
+
+		rreqLimiter: routing.NewRateLimiter(cfg.RREQRatePerNeighbor, cfg.RREQRateBurst),
+		rerrLimiter: routing.NewRateLimiter(cfg.RERRRatePerNeighbor, cfg.RERRRateBurst),
 	}
 }
 
@@ -234,7 +256,7 @@ func (a *AODV) Reset() {
 	}
 	for _, q := range a.pending {
 		for _, pkt := range q {
-			a.node.DropData(pkt, metrics.DropReset)
+			a.node.DropData(pkt, routing.DropReset)
 		}
 	}
 	a.ownSeq = 0
@@ -244,6 +266,8 @@ func (a *AODV) Reset() {
 	a.active = make(map[routing.NodeID]*discovery)
 	a.lastHeard = make(map[routing.NodeID]time.Duration)
 	a.repairing = make(map[routing.NodeID]bool)
+	a.rreqLimiter.Reset()
+	a.rerrLimiter.Reset()
 }
 
 // WalkHeldData implements routing.HeldDataWalker: the only data packets
@@ -269,7 +293,7 @@ func (a *AODV) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		a.node.DropData(pkt, metrics.DropTTL)
+		a.node.DropData(pkt, routing.DropTTL)
 		return
 	}
 	a.sendOrQueue(pkt)
@@ -289,7 +313,7 @@ func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
 		a.solicit(pkt.Dst)
 		return
 	}
-	a.node.DropData(pkt, metrics.DropNoRoute)
+	a.node.DropData(pkt, routing.DropNoRoute)
 	// A relay with no route reports the destination unreachable so that
 	// upstream holders of the stale route purge it.
 	seq := uint32(0)
@@ -302,7 +326,7 @@ func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
 func (a *AODV) queuePacket(pkt *routing.DataPacket) {
 	q := a.pending[pkt.Dst]
 	if len(q) >= a.cfg.MaxQueuedPerDest {
-		a.node.DropData(q[0], metrics.DropQueueOverflow)
+		a.node.DropData(q[0], routing.DropQueueOverflow)
 		q = q[1:]
 	}
 	a.pending[pkt.Dst] = append(q, pkt)
@@ -361,7 +385,7 @@ func (a *AODV) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 		a.queuePacket(pkt)
 		a.solicit(pkt.Dst)
 	} else {
-		a.node.DropData(pkt, metrics.DropLinkBreak)
+		a.node.DropData(pkt, routing.DropLinkBreak)
 	}
 }
 
@@ -430,7 +454,7 @@ func (a *AODV) discoveryTimeout(dst routing.NodeID, d *discovery) {
 		if d.retries > a.cfg.RREQRetries || a.repairing[dst] {
 			delete(a.active, dst)
 			for _, pkt := range a.pending[dst] {
-				a.node.DropData(pkt, metrics.DropNoRoute)
+				a.node.DropData(pkt, routing.DropNoRoute)
 			}
 			delete(a.pending, dst)
 			if a.repairing[dst] {
@@ -478,6 +502,10 @@ func (a *AODV) handleRREQ(from routing.NodeID, q RREQ) {
 		return
 	}
 	now := a.node.Now()
+	if !a.rreqLimiter.Allow(from, now) {
+		a.node.Metrics().RREQSuppressed++
+		return
+	}
 	key := reqKey{origin: q.Origin, id: q.ReqID}
 	if _, seen := a.reqSeen[key]; seen {
 		return
@@ -609,6 +637,10 @@ func (a *AODV) handleRREP(from routing.NodeID, p RREP) {
 }
 
 func (a *AODV) handleRERR(from routing.NodeID, e RERR) {
+	if !a.rerrLimiter.Allow(from, a.node.Now()) {
+		a.node.Metrics().RERRSuppressed++
+		return
+	}
 	var propagate []RERRDest
 	for _, u := range e.Unreachable {
 		ent := a.routes[u.Dst]

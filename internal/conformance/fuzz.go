@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/manetlab/ldr/internal/adversary"
 	"github.com/manetlab/ldr/internal/fault"
 	"github.com/manetlab/ldr/internal/mobility"
 	"github.com/manetlab/ldr/internal/rng"
@@ -29,15 +30,20 @@ type Spec struct {
 	PauseSec   float64 `json:"pause_sec"`
 	SimTimeSec float64 `json:"simtime_sec"`
 	Seed       int64   `json:"seed"`
-	Profile    string  `json:"profile"` // fault.ProfileNames entry
+	Profile    string  `json:"profile"`             // fault.ProfileNames entry
+	Adversary  string  `json:"adversary,omitempty"` // adversary.ProfileNames entry
 	AuditMS    int     `json:"audit_ms"`
 	Note       string  `json:"note,omitempty"`
 }
 
 // String renders the spec compactly for logs.
 func (s Spec) String() string {
-	return fmt.Sprintf("%s/%s nodes=%d flows=%d pause=%.0fs sim=%.0fs seed=%d",
-		s.Protocol, s.Profile, s.Nodes, s.Flows, s.PauseSec, s.SimTimeSec, s.Seed)
+	adv := ""
+	if s.Adversary != "" && s.Adversary != "none" {
+		adv = "+" + s.Adversary
+	}
+	return fmt.Sprintf("%s/%s%s nodes=%d flows=%d pause=%.0fs sim=%.0fs seed=%d",
+		s.Protocol, s.Profile, adv, s.Nodes, s.Flows, s.PauseSec, s.SimTimeSec, s.Seed)
 }
 
 // Config expands the spec into a runnable scenario configuration. The
@@ -65,6 +71,13 @@ func (s Spec) Config() (scenario.Config, error) {
 			return scenario.Config{}, err
 		}
 		cfg.FaultPlan = &plan
+	}
+	if s.Adversary != "" && s.Adversary != "none" {
+		plan, err := adversary.Profile(s.Adversary, s.Nodes, simTime)
+		if err != nil {
+			return scenario.Config{}, err
+		}
+		cfg.AdversaryPlan = &plan
 	}
 	if s.AuditMS > 0 {
 		cfg.AuditCadence = time.Duration(s.AuditMS) * time.Millisecond
@@ -121,15 +134,16 @@ func violates(s Spec, r Report) bool {
 // Options parameterize a fuzz sweep. Zero values select the defaults in
 // parentheses.
 type Options struct {
-	Runs       int           // scenarios to generate (32)
-	Seed       int64         // generator seed (1)
-	Workers    int           // parallel cells (GOMAXPROCS)
-	MaxNodes   int           // node-count bound (30, min 8)
-	MaxSimTime time.Duration // simulated length bound (45 s, min 5 s)
-	Protocols  []string      // candidate protocols (the paper's four)
-	Profiles   []string      // candidate fault profiles (all built-ins)
-	Shrink     bool          // minimize findings
-	Log        func(format string, args ...any) // progress sink, may be nil
+	Runs        int                              // scenarios to generate (32)
+	Seed        int64                            // generator seed (1)
+	Workers     int                              // parallel cells (GOMAXPROCS)
+	MaxNodes    int                              // node-count bound (30, min 8)
+	MaxSimTime  time.Duration                    // simulated length bound (45 s, min 5 s)
+	Protocols   []string                         // candidate protocols (the paper's four)
+	Profiles    []string                         // candidate fault profiles (all built-ins)
+	Adversaries []string                         // candidate adversary profiles (all built-ins)
+	Shrink      bool                             // minimize findings
+	Log         func(format string, args ...any) // progress sink, may be nil
 }
 
 func (o *Options) defaults() {
@@ -152,6 +166,9 @@ func (o *Options) defaults() {
 	}
 	if len(o.Profiles) == 0 {
 		o.Profiles = fault.ProfileNames()
+	}
+	if len(o.Adversaries) == 0 {
+		o.Adversaries = adversary.ProfileNames()
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
@@ -179,11 +196,12 @@ func genSpec(o *Options, src *rng.Source) Spec {
 	simt := minSim + float64(src.Intn(int(maxSim-minSim)+1))
 	seed := src.Int63()
 	profile := o.Profiles[src.Intn(len(o.Profiles))]
+	adv := o.Adversaries[src.Intn(len(o.Adversaries))]
 	audit := 50 + src.Intn(150)
 	return Spec{
 		Protocol: proto, Nodes: nodes, Flows: flows,
 		PauseSec: pause, SimTimeSec: simt, Seed: seed,
-		Profile: profile, AuditMS: audit,
+		Profile: profile, Adversary: adv, AuditMS: audit,
 	}
 }
 
@@ -235,8 +253,9 @@ func Fuzz(o Options) ([]Finding, error) {
 }
 
 // Shrink greedily minimizes a violating spec while it keeps violating:
-// halve the flow count, then drop the fault profile, then halve the
-// simulated time (floor 2 s). Each accepted step re-verifies the
+// halve the flow count, then drop the fault profile, then drop the
+// adversary profile, then halve the simulated time (floor 2 s). Each
+// accepted step re-verifies the
 // violation, so the result is always a genuine reproducer. logf may be
 // nil.
 func Shrink(s Spec, logf func(string, ...any)) (Spec, Report, error) {
@@ -270,6 +289,11 @@ func Shrink(s Spec, logf func(string, ...any)) (Spec, Report, error) {
 	if best.Profile != "" && best.Profile != "none" {
 		cand := best
 		cand.Profile = "none"
+		try(cand)
+	}
+	if best.Adversary != "" && best.Adversary != "none" {
+		cand := best
+		cand.Adversary = "none"
 		try(cand)
 	}
 	for best.SimTimeSec > 2 {

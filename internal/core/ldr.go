@@ -42,6 +42,18 @@ type Config struct {
 	Multipath        bool
 	MaxAltSuccessors int
 	AltLifetime      time.Duration
+
+	// Per-neighbor control hardening (internal/adversary): RREQs and
+	// RERRs arriving from one neighbor faster than these token-bucket
+	// rates are discarded on receipt, so a compromised neighbor's control
+	// storm is contained to its own links. The defaults are far above
+	// benign per-neighbor rates; zero disables a limiter. Dropping
+	// solicitations never threatens loop freedom — LDR is loss-tolerant
+	// by design (a lost RREQ just retries) — it only bounds work.
+	RREQRatePerNeighbor float64 // sustained RREQs/sec accepted per neighbor
+	RREQRateBurst       int     // bucket depth for RREQ bursts
+	RERRRatePerNeighbor float64 // sustained RERRs/sec accepted per neighbor
+	RERRRateBurst       int     // bucket depth for RERR bursts
 }
 
 // DefaultConfig returns the configuration used for the paper-reproduction
@@ -70,6 +82,11 @@ func DefaultConfig() Config {
 		Multipath:        false, // the paper's LDR is single-path
 		MaxAltSuccessors: 2,
 		AltLifetime:      10 * time.Second,
+
+		RREQRatePerNeighbor: 20,
+		RREQRateBurst:       40,
+		RERRRatePerNeighbor: 10,
+		RERRRateBurst:       20,
 	}
 }
 
@@ -116,6 +133,9 @@ type LDR struct {
 
 	nextReqID uint32
 	stopped   bool
+
+	rreqLimiter *routing.RateLimiter
+	rerrLimiter *routing.RateLimiter
 }
 
 var (
@@ -135,6 +155,9 @@ func New(node *routing.Node, cfg Config) *LDR {
 		reqSeen: make(map[reqKey]*reqState),
 		pending: make(map[routing.NodeID][]*routing.DataPacket),
 		active:  make(map[routing.NodeID]*discovery),
+
+		rreqLimiter: routing.NewRateLimiter(cfg.RREQRatePerNeighbor, cfg.RREQRateBurst),
+		rerrLimiter: routing.NewRateLimiter(cfg.RERRRatePerNeighbor, cfg.RERRRateBurst),
 	}
 }
 
@@ -179,7 +202,7 @@ func (l *LDR) Reset() {
 	}
 	for _, q := range l.pending {
 		for _, pkt := range q {
-			l.node.DropData(pkt, metrics.DropReset)
+			l.node.DropData(pkt, routing.DropReset)
 		}
 	}
 	for _, e := range l.routes {
@@ -189,6 +212,8 @@ func (l *LDR) Reset() {
 	l.reqSeen = make(map[reqKey]*reqState)
 	l.pending = make(map[routing.NodeID][]*routing.DataPacket)
 	l.active = make(map[routing.NodeID]*discovery)
+	l.rreqLimiter.Reset()
+	l.rerrLimiter.Reset()
 }
 
 // OwnSeq exposes the node's own sequence number (for tests and Fig. 7).
@@ -219,7 +244,7 @@ func (l *LDR) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		l.node.DropData(pkt, metrics.DropTTL)
+		l.node.DropData(pkt, routing.DropTTL)
 		return
 	}
 	// Receiving data from a neighbor implies it uses us as successor;
@@ -244,14 +269,14 @@ func (l *LDR) sendOrQueue(pkt *routing.DataPacket) {
 		l.solicit(pkt.Dst)
 		return
 	}
-	l.node.DropData(pkt, metrics.DropNoRoute)
+	l.node.DropData(pkt, routing.DropNoRoute)
 	l.sendRERR([]RERRDest{{Dst: pkt.Dst, Seq: l.seqFor(pkt.Dst)}})
 }
 
 func (l *LDR) queuePacket(pkt *routing.DataPacket) {
 	q := l.pending[pkt.Dst]
 	if len(q) >= l.cfg.MaxQueuedPerDest {
-		l.node.DropData(q[0], metrics.DropQueueOverflow)
+		l.node.DropData(q[0], routing.DropQueueOverflow)
 		q = q[1:]
 	}
 	l.pending[pkt.Dst] = append(q, pkt)
@@ -301,7 +326,7 @@ func (l *LDR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 		l.queuePacket(pkt)
 		l.solicit(pkt.Dst)
 	} else {
-		l.node.DropData(pkt, metrics.DropLinkBreak)
+		l.node.DropData(pkt, routing.DropLinkBreak)
 	}
 }
 
@@ -391,7 +416,7 @@ func (l *LDR) discoveryTimeout(dst routing.NodeID, d *discovery) {
 		if d.retries > l.cfg.RREQRetries {
 			delete(l.active, dst)
 			for _, pkt := range l.pending[dst] {
-				l.node.DropData(pkt, metrics.DropNoRoute)
+				l.node.DropData(pkt, routing.DropNoRoute)
 			}
 			delete(l.pending, dst)
 			return
@@ -432,6 +457,10 @@ func (l *LDR) handleRREQ(from routing.NodeID, q RREQ) {
 		return
 	}
 	now := l.node.Now()
+	if !l.rreqLimiter.Allow(from, now) {
+		l.node.Metrics().RREQSuppressed++
+		return
+	}
 	key := reqKey{origin: q.Origin, id: q.ReqID}
 	st := l.reqSeen[key]
 	if st != nil {
@@ -735,6 +764,10 @@ func (l *LDR) handleRREP(from routing.NodeID, p RREP) {
 // handleRERR invalidates routes whose next hop reported them broken and
 // propagates the error for entries that actually changed.
 func (l *LDR) handleRERR(from routing.NodeID, e RERR) {
+	if !l.rerrLimiter.Allow(from, l.node.Now()) {
+		l.node.Metrics().RERRSuppressed++
+		return
+	}
 	var propagate []RERRDest
 	for _, u := range e.Unreachable {
 		ent := l.routes.get(u.Dst)
@@ -774,6 +807,12 @@ func (l *LDR) acceptAdvertisement(dst routing.NodeID, advSeq Seqno, advDist int,
 		return true
 	}
 	if !e.ndc(advSeq, advDist) {
+		// The feasibility condition is LDR's whole defense against lying
+		// neighbors: an advertisement that does not beat the stored label
+		// — a replayed stale (sn, fd), a forged distance at an old number
+		// — is refused here, and the refusal is counted so attack runs
+		// can prove forgeries were rejected rather than merely unlucky.
+		l.node.Metrics().FeasibilityRejections++
 		return false
 	}
 	// Stability rule (paper §2.1 note): with an active route and an equal

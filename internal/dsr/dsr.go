@@ -215,7 +215,7 @@ func (d *DSR) Reset() {
 	}
 	for _, q := range d.pending {
 		for _, pkt := range q {
-			d.node.DropData(pkt, metrics.DropReset)
+			d.node.DropData(pkt, routing.DropReset)
 		}
 	}
 	d.cache = newPathCache(d.node.ID(), d.cfg.CacheCapacity, d.cfg.CacheLifetime)
@@ -258,12 +258,12 @@ func (d *DSR) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		d.node.DropData(pkt, metrics.DropTTL)
+		d.node.DropData(pkt, routing.DropTTL)
 		return
 	}
 	// Advance along the source route. The packet names us at SRIndex+1.
 	if pkt.SRIndex+1 >= len(pkt.SourceRoute) || pkt.SourceRoute[pkt.SRIndex+1] != me {
-		d.node.DropData(pkt, metrics.DropMalformed) // malformed or duplicated header
+		d.node.DropData(pkt, routing.DropMalformed) // malformed or duplicated header
 		return
 	}
 	pkt.SRIndex++
@@ -275,7 +275,7 @@ func (d *DSR) HandleData(from routing.NodeID, pkt *routing.DataPacket) {
 // transmitAlongRoute sends pkt to the next node named in its source route.
 func (d *DSR) transmitAlongRoute(pkt *routing.DataPacket) {
 	if pkt.SRIndex+1 >= len(pkt.SourceRoute) {
-		d.node.DropData(pkt, metrics.DropMalformed)
+		d.node.DropData(pkt, routing.DropMalformed)
 		return
 	}
 	next := pkt.SourceRoute[pkt.SRIndex+1]
@@ -310,7 +310,7 @@ func (d *DSR) linkFailure(pkt *routing.DataPacket, next routing.NodeID) {
 		d.solicit(pkt.Dst)
 		return
 	}
-	d.node.DropData(pkt, metrics.DropLinkBreak)
+	d.node.DropData(pkt, routing.DropLinkBreak)
 }
 
 // sendRERR reports the broken link to the packet's origin along the
@@ -330,7 +330,7 @@ func (d *DSR) sendRERR(pkt *routing.DataPacket, next routing.NodeID) {
 func (d *DSR) queuePacket(pkt *routing.DataPacket) {
 	q := d.pending[pkt.Dst]
 	if len(q) >= d.cfg.MaxQueuedPerDest {
-		d.node.DropData(q[0], metrics.DropQueueOverflow)
+		d.node.DropData(q[0], routing.DropQueueOverflow)
 		q = q[1:]
 	}
 	d.pending[pkt.Dst] = append(q, pkt)
@@ -404,7 +404,7 @@ func (d *DSR) discoveryTimeout(dst routing.NodeID, disc *discovery) {
 	if disc.retries > d.cfg.MaxRetries {
 		delete(d.active, dst)
 		for _, pkt := range d.pending[dst] {
-			d.node.DropData(pkt, metrics.DropNoRoute)
+			d.node.DropData(pkt, routing.DropNoRoute)
 		}
 		delete(d.pending, dst)
 		return

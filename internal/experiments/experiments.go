@@ -19,6 +19,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/manetlab/ldr/internal/adversary"
 	"github.com/manetlab/ldr/internal/fault"
 	"github.com/manetlab/ldr/internal/scenario"
 	"github.com/manetlab/ldr/internal/stats"
@@ -41,6 +42,10 @@ type Options struct {
 	// FaultProfiles selects the fault profiles the Chaos experiment
 	// sweeps (nil = all built-ins, see fault.ProfileNames).
 	FaultProfiles []string
+
+	// AdversaryProfiles selects the attack profiles the Adversary
+	// experiment sweeps (nil = all built-ins, see adversary.ProfileNames).
+	AdversaryProfiles []string
 
 	// AuditCadence is the continuous-audit snapshot period used by the
 	// Chaos experiment; zero selects 100 ms.
@@ -70,6 +75,9 @@ func (o Options) Defaults() Options {
 	}
 	if len(o.FaultProfiles) == 0 {
 		o.FaultProfiles = fault.ProfileNames()
+	}
+	if len(o.AdversaryProfiles) == 0 {
+		o.AdversaryProfiles = adversary.ProfileNames()
 	}
 	if o.AuditCadence == 0 {
 		o.AuditCadence = 100 * time.Millisecond

@@ -1,0 +1,168 @@
+package fault_test
+
+// Edge-case coverage for the injector's Plan semantics: overlapping
+// crash windows, zero-duration (default-hold) and negative-duration
+// (permanent) faults, reboot-before-recrash ordering, and profile
+// resolution errors.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/fault"
+	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/scenario"
+)
+
+// rig builds a small network plus a hand-made injector so tests can
+// probe node state at exact virtual instants.
+func rig(t *testing.T, plan fault.Plan, until time.Duration) (*routing.Network, *fault.Injector) {
+	t.Helper()
+	nw, _, err := scenario.Build(chaosConfig(scenario.LDR, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(nw, plan, rng.New(99).Split("fault"), until)
+	in.Start()
+	nw.Start()
+	return nw, in
+}
+
+// TestOverlappingCrashWindows: a node crashed inside another crash's
+// hold window is left to its pending reboot — one crash, one reboot,
+// never a double power-off or an orphaned second reboot event.
+func TestOverlappingCrashWindows(t *testing.T) {
+	plan := fault.Plan{Name: "overlap", Specs: []fault.Spec{
+		{Kind: fault.Crash, At: 1 * time.Second, Duration: 5 * time.Second, Nodes: []int{2}},
+		{Kind: fault.Crash, At: 2 * time.Second, Duration: time.Second, Nodes: []int{2}},
+	}}
+	nw, in := rig(t, plan, 10*time.Second)
+
+	var downMid, upAfter bool
+	// 4 s is after the second spec's would-be reboot (3 s) but inside the
+	// first window (1 s + 5 s): if the second crash had rescheduled the
+	// reboot, the node would already be up here.
+	nw.Sim.At(4*time.Second, func() { downMid = nw.Nodes[2].Down() })
+	nw.Sim.At(7*time.Second, func() { upAfter = !nw.Nodes[2].Down() })
+	nw.Sim.Run(10 * time.Second)
+	nw.Stop()
+
+	if in.Stats.Crashes != 1 || in.Stats.Reboots != 1 {
+		t.Errorf("crashes=%d reboots=%d, want 1/1 (second crash lands in the first's window)",
+			in.Stats.Crashes, in.Stats.Reboots)
+	}
+	if !downMid {
+		t.Error("node came back before the first crash's hold expired")
+	}
+	if !upAfter {
+		t.Error("node did not reboot when the first crash's hold expired")
+	}
+}
+
+// TestZeroDurationUsesDefaultHold: Duration zero selects the per-kind
+// default (250 ms for Crash), not an instant or permanent outage.
+func TestZeroDurationUsesDefaultHold(t *testing.T) {
+	plan := fault.Plan{Name: "defhold", Specs: []fault.Spec{
+		{Kind: fault.Crash, At: 1 * time.Second, Nodes: []int{0}},
+	}}
+	nw, in := rig(t, plan, 5*time.Second)
+
+	var downInside, upAfter bool
+	nw.Sim.At(1*time.Second+100*time.Millisecond, func() { downInside = nw.Nodes[0].Down() })
+	nw.Sim.At(1*time.Second+300*time.Millisecond, func() { upAfter = !nw.Nodes[0].Down() })
+	nw.Sim.Run(5 * time.Second)
+	nw.Stop()
+
+	if !downInside {
+		t.Error("node not down 100 ms into the default 250 ms hold")
+	}
+	if !upAfter {
+		t.Error("node still down 300 ms after a zero-duration crash (default hold is 250 ms)")
+	}
+	if in.Stats.Crashes != 1 || in.Stats.Reboots != 1 {
+		t.Errorf("crashes=%d reboots=%d, want 1/1", in.Stats.Crashes, in.Stats.Reboots)
+	}
+}
+
+// TestPermanentCrash: a negative Duration is fail-stop — the node never
+// reboots and the reboot counter stays behind the crash counter.
+func TestPermanentCrash(t *testing.T) {
+	plan := fault.Plan{Name: "failstop", Specs: []fault.Spec{
+		{Kind: fault.Crash, At: 1 * time.Second, Duration: -1, Nodes: []int{5}},
+	}}
+	nw, in := rig(t, plan, 10*time.Second)
+	nw.Sim.Run(10 * time.Second)
+	nw.Stop()
+
+	if !nw.Nodes[5].Down() {
+		t.Error("fail-stopped node is back up")
+	}
+	if in.Stats.Crashes != 1 || in.Stats.Reboots != 0 {
+		t.Errorf("crashes=%d reboots=%d, want 1/0", in.Stats.Crashes, in.Stats.Reboots)
+	}
+}
+
+// TestRebootBeforeRecrash: once a crash's hold expires the node is fair
+// game again — two disjoint windows on one node count two full
+// crash/reboot cycles, in order.
+func TestRebootBeforeRecrash(t *testing.T) {
+	plan := fault.Plan{Name: "recrash", Specs: []fault.Spec{
+		{Kind: fault.Crash, At: 1 * time.Second, Duration: time.Second, Nodes: []int{4}},
+		{Kind: fault.Crash, At: 3 * time.Second, Duration: time.Second, Nodes: []int{4}},
+	}}
+	nw, in := rig(t, plan, 10*time.Second)
+
+	var upBetween, downSecond bool
+	nw.Sim.At(2*time.Second+500*time.Millisecond, func() { upBetween = !nw.Nodes[4].Down() })
+	nw.Sim.At(3*time.Second+500*time.Millisecond, func() { downSecond = nw.Nodes[4].Down() })
+	nw.Sim.Run(10 * time.Second)
+	nw.Stop()
+
+	if !upBetween {
+		t.Error("node not rebooted between the two windows")
+	}
+	if !downSecond {
+		t.Error("second crash did not take the rebooted node down")
+	}
+	if in.Stats.Crashes != 2 || in.Stats.Reboots != 2 {
+		t.Errorf("crashes=%d reboots=%d, want 2/2", in.Stats.Crashes, in.Stats.Reboots)
+	}
+}
+
+// TestPeriodicSpecRespectsHorizon: a periodic spec stops at the plan
+// horizon; crash and reboot counts stay coherent afterwards.
+func TestPeriodicSpecRespectsHorizon(t *testing.T) {
+	plan := fault.Plan{Name: "periodic", Specs: []fault.Spec{
+		{Kind: fault.Crash, At: 1 * time.Second, Every: 2 * time.Second, Duration: 500 * time.Millisecond, Count: 1},
+	}}
+	nw, in := rig(t, plan, 6*time.Second)
+	nw.Sim.Run(20 * time.Second)
+	nw.Stop()
+
+	// Fires at 1, 3, 5 s (7 s is past the 6 s horizon). Random victims may
+	// overlap a held window, so crashes can be fewer than firings but
+	// never more, and every crash must have rebooted by t = 20 s.
+	if in.Stats.Crashes < 1 || in.Stats.Crashes > 3 {
+		t.Errorf("crashes=%d, want 1..3 firings inside the 6 s horizon", in.Stats.Crashes)
+	}
+	if in.Stats.Reboots != in.Stats.Crashes {
+		t.Errorf("reboots=%d crashes=%d, want equal once all holds expired",
+			in.Stats.Reboots, in.Stats.Crashes)
+	}
+}
+
+// TestProfileErrors: unknown profile names must error with candidates,
+// and every advertised profile must resolve at any scale.
+func TestProfileErrors(t *testing.T) {
+	if _, err := fault.Profile("bogus", 25, time.Minute); err == nil {
+		t.Error("unknown fault profile resolved without error")
+	}
+	for _, name := range fault.ProfileNames() {
+		for _, nodes := range []int{2, 25, 100} {
+			if _, err := fault.Profile(name, nodes, 10*time.Second); err != nil {
+				t.Errorf("profile %q at %d nodes: %v", name, nodes, err)
+			}
+		}
+	}
+}

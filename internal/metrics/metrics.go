@@ -62,6 +62,7 @@ const (
 	DropMalformed
 	DropNodeDown
 	DropReset
+	DropAdversary
 
 	numReasons
 )
@@ -86,6 +87,8 @@ func (r DropReason) String() string {
 		return "node-down"
 	case DropReset:
 		return "reset"
+	case DropAdversary:
+		return "adversary"
 	default:
 		return "other"
 	}
@@ -159,6 +162,17 @@ type Collector struct {
 	// LateDrops instead of inflating the paper's metrics.
 	DuplicateDeliveries uint64 // deliveries suppressed: packet already terminal
 	LateDrops           uint64 // drops suppressed: packet already terminal
+
+	// Adversary-resilience counters (internal/adversary). A feasibility
+	// rejection is an advertisement LDR's NDC refused — under seqno
+	// forgery or stale-label replay these count refused forgeries; the
+	// suppression counters tally control messages discarded by the
+	// per-neighbor rate limiters before processing. All three are
+	// receive-side events, so they never unbalance the control ledgers
+	// (initiated/transmitted/dropped are all sender-side).
+	FeasibilityRejections uint64 // LDR NDC refusals of advertisements
+	RREQSuppressed        uint64 // RREQs discarded by receive rate limiting
+	RERRSuppressed        uint64 // RERRs discarded by receive damping
 
 	dropByReason [numReasons]uint64
 	fates        map[packetKey]PacketFate

@@ -618,7 +618,7 @@ func (o *OLSR) HandleData(_ routing.NodeID, pkt *routing.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		o.node.DropData(pkt, metrics.DropTTL)
+		o.node.DropData(pkt, routing.DropTTL)
 		return
 	}
 	o.forward(pkt)
@@ -630,7 +630,7 @@ func (o *OLSR) forward(pkt *routing.DataPacket) {
 	}
 	next, ok := o.routes[pkt.Dst]
 	if !ok {
-		o.node.DropData(pkt, metrics.DropNoRoute)
+		o.node.DropData(pkt, routing.DropNoRoute)
 		return
 	}
 	o.node.SendData(next, pkt, nil, func() { o.linkFailure(next, pkt) })
@@ -647,10 +647,10 @@ func (o *OLSR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 	o.dirty = true
 	o.recompute()
 	if alt, ok := o.routes[pkt.Dst]; ok && alt != next {
-		o.node.SendData(alt, pkt, nil, func() { o.node.DropData(pkt, metrics.DropLinkBreak) })
+		o.node.SendData(alt, pkt, nil, func() { o.node.DropData(pkt, routing.DropLinkBreak) })
 		return
 	}
-	o.node.DropData(pkt, metrics.DropLinkBreak)
+	o.node.DropData(pkt, routing.DropLinkBreak)
 }
 
 // --- observability ---

@@ -248,7 +248,7 @@ func (n *Node) OriginateData(dst NodeID, bytes int) {
 		// The application is down with the node: the packet still counts
 		// as offered load (the flow does not pause for the outage) and is
 		// lost on the spot.
-		n.DropData(pkt, metrics.DropNodeDown)
+		n.DropData(pkt, DropNodeDown)
 		return
 	}
 	n.proto.Originate(pkt)
@@ -276,7 +276,7 @@ func (n *Node) DeliverLocal(pkt *DataPacket) {
 // (no route, TTL expiry, queue overflow, link failure, crash wipe). Like
 // DeliverLocal it is first-terminal-event-wins: dropping a stale copy of
 // an already-terminal packet only bumps the LateDrops diagnostic.
-func (n *Node) DropData(pkt *DataPacket, reason metrics.DropReason) {
+func (n *Node) DropData(pkt *DataPacket, reason DropReason) {
 	if !n.col.NoteDropped(int(pkt.Src), pkt.ID, reason) {
 		return
 	}
@@ -293,7 +293,7 @@ func (n *Node) Crash() {
 	n.SetDown(true)
 	n.mac.ForEachQueued(func(f *mac.Frame) {
 		if nf, ok := f.Payload.(*netFrame); ok && nf.data != nil {
-			n.DropData(nf.data, metrics.DropReset)
+			n.DropData(nf.data, DropReset)
 		}
 	})
 	n.mac.Reset()

@@ -1,10 +1,6 @@
 package routing
 
-import (
-	"time"
-
-	"github.com/manetlab/ldr/internal/metrics"
-)
+import "time"
 
 // TraceEventKind labels a packet-lifecycle event.
 type TraceEventKind uint8
@@ -45,7 +41,7 @@ type TraceEvent struct {
 	Next NodeID // forward: the chosen next hop
 
 	// Reason classifies drop events; zero for other kinds.
-	Reason metrics.DropReason
+	Reason DropReason
 }
 
 // Tracer receives packet lifecycle events. Implementations must be cheap:
@@ -76,7 +72,7 @@ func (m MultiTracer) Trace(ev TraceEvent) {
 	}
 }
 
-func (n *Node) trace(kind TraceEventKind, pkt *DataPacket, next NodeID, reason metrics.DropReason) {
+func (n *Node) trace(kind TraceEventKind, pkt *DataPacket, next NodeID, reason DropReason) {
 	if n.tracer == nil {
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/manetlab/ldr/internal/adversary"
 	"github.com/manetlab/ldr/internal/aodv"
 	"github.com/manetlab/ldr/internal/core"
 	"github.com/manetlab/ldr/internal/dsr"
@@ -68,6 +69,14 @@ type Config struct {
 	// perturb the mobility, traffic, or MAC randomness of the run.
 	FaultPlan *fault.Plan
 
+	// AdversaryPlan, when non-nil, compromises nodes per the plan before
+	// the run starts: blackhole/grayhole dropping, sequence-number
+	// forgery, stale-label replay, and control storms (see
+	// internal/adversary). Like FaultPlan it draws from a dedicated
+	// stream (root.Split("adversary")) and composes freely with fault
+	// injection in the same run.
+	AdversaryPlan *adversary.Plan
+
 	// AuditCadence > 0 enables the continuous invariant auditor: every
 	// routing table is snapshotted at this virtual-time period and loop/
 	// ordering violations are scored into the collector (AuditSnapshots,
@@ -112,6 +121,9 @@ type Result struct {
 	// Faults counts what the injector actually did (zero value when the
 	// config had no plan).
 	Faults fault.Stats
+	// Adversary counts what the compromised nodes actually did (zero
+	// value when the config had no adversary plan).
+	Adversary adversary.Stats
 	// Violations samples the first audited violations (nil when auditing
 	// was off or the run was clean); counters live in the Collector.
 	Violations []fault.Record
@@ -128,9 +140,10 @@ type SeqnoReporter interface {
 // scenario-level RNG root (mobility, traffic, faults); together with
 // routing.Network.Root it accounts for every random draw of the run.
 type Instruments struct {
-	Injector *fault.Injector
-	Auditor  *fault.Auditor
-	Root     *rng.Source
+	Injector  *fault.Injector
+	Auditor   *fault.Auditor
+	Adversary *adversary.Engine
+	Root      *rng.Source
 }
 
 // Build constructs the network and workload without running them, for
@@ -166,6 +179,12 @@ func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instr
 	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, traffic.DefaultConfig(cfg.Flows, cfg.SimTime), root.Split("traffic"))
 
 	inst := &Instruments{Root: root}
+	if cfg.AdversaryPlan != nil && len(cfg.AdversaryPlan.Compromises) > 0 {
+		// Install before Start: compromising a node swaps its bound
+		// protocol for the Byzantine wrapper.
+		inst.Adversary = adversary.NewEngine(nw, *cfg.AdversaryPlan, root.Split("adversary"), cfg.SimTime)
+		inst.Adversary.Install()
+	}
 	if cfg.FaultPlan != nil {
 		inst.Injector = fault.NewInjector(nw, *cfg.FaultPlan, root.Split("fault"), cfg.SimTime)
 		inst.Injector.Start()
@@ -198,6 +217,9 @@ func Run(cfg Config) (Result, error) {
 	res := Result{Config: cfg, Collector: nw.Collector, Events: nw.Sim.EventsFired()}
 	if inst.Injector != nil {
 		res.Faults = inst.Injector.Stats
+	}
+	if inst.Adversary != nil {
+		res.Adversary = inst.Adversary.Stats
 	}
 	if inst.Auditor != nil {
 		res.Violations = inst.Auditor.Records
