@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race fuzz-smoke chaos adversary bench bench-chaos bench-adversary bench-all examples experiments clean
+.PHONY: all check build test vet race fuzz-smoke chaos adversary bench bench-sweep bench-smoke bench-chaos bench-adversary bench-all profile examples experiments clean
 
 all: check
 
-check: build vet test race fuzz-smoke adversary
+check: build vet test race fuzz-smoke adversary bench-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,31 @@ bench:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -bench 'Sweep|Transmit|Neighbors' -benchmem \
 		./internal/sweep/ ./internal/radio/ | tee /dev/stderr | /tmp/benchjson -o BENCH_sweep.json
+
+# Same benchmarks, gated against the committed BENCH_sweep.json: any
+# benchmark whose B/op or allocs/op regressed more than 10% fails the
+# target (non-zero exit) and leaves the committed baseline untouched.
+bench-sweep:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -bench 'Sweep|Transmit|Neighbors' -benchmem \
+		./internal/sweep/ ./internal/radio/ | tee /dev/stderr | /tmp/benchjson -o BENCH_sweep.json -maxregress 10
+
+# Fast allocation-regression smoke: the zero-alloc guards on the event
+# loop, MAC queue, and LDR round trip, plus a single tiny sweep cell.
+# Part of `make check` so steady-state allocation creep fails CI quickly.
+bench-smoke:
+	$(GO) test -run 'Alloc|ZeroAlloc' ./internal/sim/ ./internal/mac/ ./internal/core/ ./internal/routing/
+	$(GO) test -run '^$$' -bench 'ScheduleTransient|SweepSerial' -benchtime 10x \
+		./internal/sim/ ./internal/sweep/
+
+# CPU + allocation profiles of a reduced Table 1 run, written to
+# profiles/ (gitignored); inspect with `go tool pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/ldrbench -exp table1 -trials 1 -simtime 60s \
+		-cpuprofile profiles/ldrbench.cpu.pprof -memprofile profiles/ldrbench.mem.pprof
+	@echo "profiles written: profiles/ldrbench.cpu.pprof profiles/ldrbench.mem.pprof"
+	@echo "inspect: go tool pprof -top profiles/ldrbench.mem.pprof"
 
 # One benchmark per paper table/figure plus the engine and coordination
 # benches, at reduced scale.

@@ -37,20 +37,30 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	maxRegress := flag.Float64("maxregress", 0,
+		"max allowed %% regression in B/op and allocs/op vs the existing -o file; >0 enables the gate (exit 1, baseline kept)")
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
-		fmt.Fprintf(w, "usage: go test -bench ... | benchjson [-o FILE]\n\n")
+		fmt.Fprintf(w, "usage: go test -bench ... | benchjson [-o FILE] [-maxregress PCT]\n\n")
 		fmt.Fprintf(w, "Convert `go test -bench` output on stdin into a JSON report. Standard\n")
 		fmt.Fprintf(w, "metrics (ns/op, B/op, allocs/op) and custom b.ReportMetric units are\n")
-		fmt.Fprintf(w, "all captured; non-benchmark lines are ignored.\n\nFlags:\n")
+		fmt.Fprintf(w, "all captured; non-benchmark lines are ignored.\n\n")
+		fmt.Fprintf(w, "With -maxregress, the existing -o file is the committed baseline: if\n")
+		fmt.Fprintf(w, "any benchmark's B/op or allocs/op grew by more than PCT%%, the baseline\n")
+		fmt.Fprintf(w, "is left untouched and benchjson exits non-zero.\n\nFlags:\n")
 		flag.PrintDefaults()
-		fmt.Fprintf(w, "\nExample:\n")
+		fmt.Fprintf(w, "\nExamples:\n")
 		fmt.Fprintf(w, "  go test -bench Sweep -benchmem ./internal/sweep/ | benchjson -o BENCH_sweep.json\n")
+		fmt.Fprintf(w, "  go test -bench Sweep -benchmem ./internal/sweep/ | benchjson -o BENCH_sweep.json -maxregress 10\n")
 	}
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: unexpected argument %q (input is read from stdin)\n", flag.Arg(0))
+		os.Exit(1)
+	}
+	if *maxRegress > 0 && *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -maxregress needs -o FILE as the baseline")
 		os.Exit(1)
 	}
 
@@ -62,6 +72,22 @@ func main() {
 	if len(rep.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
+	}
+
+	if *maxRegress > 0 {
+		if base, err := loadReport(*out); err == nil {
+			if regressions := compare(base, rep, *maxRegress); len(regressions) > 0 {
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+				}
+				fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%%; %s left untouched\n",
+					len(regressions), *maxRegress, *out)
+				os.Exit(1)
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -78,6 +104,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads a previously written report to serve as the baseline.
+func loadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare flags every benchmark present in both reports whose B/op or
+// allocs/op grew by more than maxPct percent over the baseline. Benchmark
+// names include the GOMAXPROCS suffix, so baselines only gate runs on
+// comparable machines.
+func compare(base, cur *Report, maxPct float64) []string {
+	baseline := make(map[string]map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r.Metrics
+	}
+	var regressions []string
+	for _, r := range cur.Results {
+		old, ok := baseline[r.Name]
+		if !ok {
+			continue
+		}
+		for _, unit := range []string{"B/op", "allocs/op"} {
+			was, okOld := old[unit]
+			now, okNew := r.Metrics[unit]
+			if !okOld || !okNew || was <= 0 {
+				continue
+			}
+			if growth := (now - was) / was * 100; growth > maxPct {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s %.0f -> %.0f (+%.1f%%)", r.Name, unit, was, now, growth))
+			}
+		}
+	}
+	return regressions
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,6 +40,8 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		protos  = flag.String("protocols", "", "comma-separated protocol subset (default: ldr,aodv,dsr,olsr)")
 		workers = flag.Int("workers", 0, "concurrent scenario cells; 0 = GOMAXPROCS, 1 = serial (output is identical either way)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
@@ -64,6 +68,33 @@ func run() error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be ≥ 0 (got %d; 0 means GOMAXPROCS)", *workers)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// alloc_space/alloc_objects cover the whole run even though the
+			// snapshot is taken at exit; GC first so inuse numbers are live.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ldrbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	opts := experiments.Options{

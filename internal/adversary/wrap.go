@@ -5,7 +5,9 @@ import (
 
 	"github.com/manetlab/ldr/internal/aodv"
 	"github.com/manetlab/ldr/internal/core"
+	"github.com/manetlab/ldr/internal/dsr"
 	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/olsr"
 	"github.com/manetlab/ldr/internal/rng"
 	"github.com/manetlab/ldr/internal/routing"
 )
@@ -55,12 +57,14 @@ type wrapped struct {
 }
 
 var (
-	_ routing.Protocol          = (*wrapped)(nil)
-	_ routing.TableAppender     = (*wrapped)(nil)
-	_ routing.TableSnapshotter  = (*wrapped)(nil)
-	_ routing.Resetter          = (*wrapped)(nil)
-	_ routing.HeldDataWalker    = (*wrapped)(nil)
-	_ routing.HeldControlWalker = (*wrapped)(nil)
+	_ routing.Protocol           = (*wrapped)(nil)
+	_ routing.TableAppender      = (*wrapped)(nil)
+	_ routing.TableSnapshotter   = (*wrapped)(nil)
+	_ routing.Resetter           = (*wrapped)(nil)
+	_ routing.HeldDataWalker     = (*wrapped)(nil)
+	_ routing.HeldControlWalker  = (*wrapped)(nil)
+	_ routing.DataFailureHandler = (*wrapped)(nil)
+	_ routing.MessageRecycler    = (*wrapped)(nil)
 )
 
 func newWrapped(eng *Engine, node *routing.Node, src *rng.Source) *wrapped {
@@ -182,10 +186,31 @@ func (w *wrapped) HandleControl(from routing.NodeID, msg routing.Message) {
 // Originate passes the node's own traffic through untouched.
 func (w *wrapped) Originate(pkt *routing.DataPacket) { w.inner.Originate(pkt) }
 
+// DataFailed delegates MAC-level data failures to the inner protocol's
+// route maintenance. The node resolves this handler from its installed
+// protocol — the wrapper — so without the delegation a failed frame's
+// packet would never be returned and the conformance census would flag
+// it as vanished.
+func (w *wrapped) DataFailed(next routing.NodeID, pkt *routing.DataPacket) {
+	if h, ok := w.inner.(routing.DataFailureHandler); ok {
+		h.DataFailed(next, pkt)
+	}
+}
+
+// RecycleMessage delegates wire-message recycling to the inner protocol's
+// pools. The wrapper's own sends (forged and replayed messages) are plain
+// values, which every recycler ignores, so only the inner protocol's
+// pooled pointers ever come back through here.
+func (w *wrapped) RecycleMessage(msg routing.Message) {
+	if r, ok := w.inner.(routing.MessageRecycler); ok {
+		r.RecycleMessage(msg)
+	}
+}
+
 // record retains replies, errors, and topology messages — the messages
-// that carry route state worth replaying after it goes stale. Messages
-// are relayed by value throughout the simulator, so holding them is
-// safe.
+// that carry route state worth replaying after it goes stale. The wire
+// path delivers pooled pointers that the sender recycles once the frame
+// completes, so the wrapper must deep-clone what it keeps.
 func (w *wrapped) record(msg routing.Message) {
 	switch msg.Kind() {
 	case metrics.RREP, metrics.RERR, metrics.TC:
@@ -196,7 +221,40 @@ func (w *wrapped) record(msg routing.Message) {
 		copy(w.recorded, w.recorded[1:])
 		w.recorded = w.recorded[:recordCap-1]
 	}
-	w.recorded = append(w.recorded, recorded{at: w.node.Now(), msg: msg})
+	w.recorded = append(w.recorded, recorded{at: w.node.Now(), msg: cloneMessage(msg)})
+}
+
+// cloneMessage deep-copies a pooled pointer message into a self-contained
+// value; value messages (from tests or other wrappers) are already safe
+// copies and pass through unchanged.
+func cloneMessage(msg routing.Message) routing.Message {
+	switch m := msg.(type) {
+	case *core.RREP:
+		return *m
+	case *core.RERR:
+		cp := *m
+		cp.Unreachable = append([]core.RERRDest(nil), m.Unreachable...)
+		return cp
+	case *aodv.RREP:
+		return *m
+	case *aodv.RERR:
+		cp := *m
+		cp.Unreachable = append([]aodv.RERRDest(nil), m.Unreachable...)
+		return cp
+	case *dsr.RREP:
+		cp := *m
+		cp.Route = append([]routing.NodeID(nil), m.Route...)
+		return cp
+	case *dsr.RERR:
+		cp := *m
+		cp.Route = append([]routing.NodeID(nil), m.Route...)
+		return cp
+	case *olsr.TC:
+		cp := *m
+		cp.Selectors = append([]routing.NodeID(nil), m.Selectors...)
+		return cp
+	}
+	return msg
 }
 
 // --- attack timers ---
@@ -306,8 +364,16 @@ type forger interface {
 type aodvForger struct{}
 
 func (aodvForger) forgeReply(w *wrapped, from routing.NodeID, msg routing.Message, c *Compromise) bool {
-	q, ok := msg.(aodv.RREQ)
-	if !ok || q.Dst == w.node.ID() || q.Origin == w.node.ID() {
+	var q aodv.RREQ
+	switch m := msg.(type) {
+	case *aodv.RREQ:
+		q = *m
+	case aodv.RREQ:
+		q = m
+	default:
+		return false
+	}
+	if q.Dst == w.node.ID() || q.Origin == w.node.ID() {
 		return false
 	}
 	p := aodv.RREP{
@@ -358,8 +424,16 @@ func (aodvForger) storm(w *wrapped, c *Compromise) {
 type ldrForger struct{}
 
 func (ldrForger) forgeReply(w *wrapped, from routing.NodeID, msg routing.Message, c *Compromise) bool {
-	q, ok := msg.(core.RREQ)
-	if !ok || q.Dst == w.node.ID() || q.Origin == w.node.ID() {
+	var q core.RREQ
+	switch m := msg.(type) {
+	case *core.RREQ:
+		q = *m
+	case core.RREQ:
+		q = m
+	default:
+		return false
+	}
+	if q.Dst == w.node.ID() || q.Origin == w.node.ID() {
 		return false
 	}
 	p := core.RREP{

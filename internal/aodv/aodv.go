@@ -17,6 +17,7 @@ import (
 
 	"github.com/manetlab/ldr/internal/metrics"
 	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/runpool"
 	"github.com/manetlab/ldr/internal/sim"
 )
 
@@ -102,8 +103,9 @@ type RREQ struct {
 // Kind implements routing.Message.
 func (RREQ) Kind() metrics.ControlKind { return metrics.RREQ }
 
-// Size implements routing.Message.
-func (q RREQ) Size() int { return len(q.Marshal()) }
+// Size implements routing.Message: arithmetic wire size, pinned to
+// len(Marshal()) by the wire tests.
+func (RREQ) Size() int { return rreqWireSize }
 
 // RREP is an AODV route reply.
 type RREP struct {
@@ -118,7 +120,7 @@ type RREP struct {
 func (RREP) Kind() metrics.ControlKind { return metrics.RREP }
 
 // Size implements routing.Message.
-func (p RREP) Size() int { return len(p.Marshal()) }
+func (RREP) Size() int { return rrepWireSize }
 
 // RERRDest names one newly unreachable destination.
 type RERRDest struct {
@@ -135,7 +137,17 @@ type RERR struct {
 func (RERR) Kind() metrics.ControlKind { return metrics.RERR }
 
 // Size implements routing.Message.
-func (e RERR) Size() int { return len(e.Marshal()) }
+func (e RERR) Size() int { return rerrWireBase + rerrWirePerDest*len(e.Unreachable) }
+
+// Wire sizes of the fixed-layout encodings (type byte included); pinned
+// against Marshal by the wire round-trip tests.
+const (
+	rreqWireSize    = 1 + 1 + 4 + 4 + 4 + 4 + 4 + 1 + 1
+	rrepWireSize    = 1 + 4 + 4 + 4 + 1 + 4
+	rerrWireBase    = 1 + 2
+	rerrWirePerDest = 4 + 4
+	helloWireSize   = 1 + 4 + 4
+)
 
 // entry is one AODV routing-table row.
 type entry struct {
@@ -167,7 +179,7 @@ type discovery struct {
 	id      uint32
 	ttl     int
 	retries int
-	timer   *sim.Event
+	timer   sim.Timer
 }
 
 // AODV is one node's protocol instance.
@@ -182,19 +194,30 @@ type AODV struct {
 	active     map[routing.NodeID]*discovery
 	lastHeard  map[routing.NodeID]time.Duration // hello liveness per neighbor
 	repairing  map[routing.NodeID]bool          // destinations under local repair
-	helloTimer *sim.Event
+	helloTimer sim.Timer
 	nextReqID  uint32
 	stopped    bool
 
 	rreqLimiter *routing.RateLimiter
 	rerrLimiter *routing.RateLimiter
+
+	// Free lists for outgoing control messages (recycled by the node
+	// layer once the carrying frame is released) and a scratch buffer
+	// for assembling RERR destination lists.
+	rreqPool  runpool.Pool[RREQ]
+	rrepPool  runpool.Pool[RREP]
+	rerrPool  runpool.Pool[RERR]
+	helloPool runpool.Pool[Hello]
+	rerrBuf   []RERRDest
 }
 
 var (
-	_ routing.Protocol         = (*AODV)(nil)
-	_ routing.TableSnapshotter = (*AODV)(nil)
-	_ routing.TableAppender    = (*AODV)(nil)
-	_ routing.Resetter         = (*AODV)(nil)
+	_ routing.Protocol           = (*AODV)(nil)
+	_ routing.TableSnapshotter   = (*AODV)(nil)
+	_ routing.TableAppender      = (*AODV)(nil)
+	_ routing.Resetter           = (*AODV)(nil)
+	_ routing.DataFailureHandler = (*AODV)(nil)
+	_ routing.MessageRecycler    = (*AODV)(nil)
 )
 
 // New builds an AODV instance bound to a node.
@@ -225,13 +248,9 @@ func (a *AODV) Start() {
 func (a *AODV) Stop() {
 	a.stopped = true
 	for _, d := range a.active {
-		if d.timer != nil {
-			d.timer.Cancel()
-		}
+		d.timer.Cancel()
 	}
-	if a.helloTimer != nil {
-		a.helloTimer.Cancel()
-	}
+	a.helloTimer.Cancel()
 }
 
 // Reset implements routing.Resetter: a crash loses everything, including
@@ -246,14 +265,10 @@ func (a *AODV) Stop() {
 // rather than protocol behaviour.
 func (a *AODV) Reset() {
 	for _, d := range a.active {
-		if d.timer != nil {
-			d.timer.Cancel()
-		}
+		d.timer.Cancel()
 	}
-	if a.helloTimer != nil {
-		a.helloTimer.Cancel()
-		a.helloTimer = nil
-	}
+	a.helloTimer.Cancel()
+	a.helloTimer = sim.Timer{}
 	for _, q := range a.pending {
 		for _, pkt := range q {
 			a.node.DropData(pkt, routing.DropReset)
@@ -304,8 +319,7 @@ func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
 	e := a.routes[pkt.Dst]
 	if e.active(now) {
 		e.refresh(now, a.cfg.ActiveRouteTimeout)
-		next := e.next
-		a.node.SendData(next, pkt, nil, func() { a.linkFailure(next, pkt) })
+		a.node.SendData(e.next, pkt)
 		return
 	}
 	if pkt.Src == a.node.ID() {
@@ -313,6 +327,7 @@ func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
 		a.solicit(pkt.Dst)
 		return
 	}
+	dst := pkt.Dst
 	a.node.DropData(pkt, routing.DropNoRoute)
 	// A relay with no route reports the destination unreachable so that
 	// upstream holders of the stale route purge it.
@@ -320,7 +335,8 @@ func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
 	if e != nil {
 		seq = e.seq + 1
 	}
-	a.sendRERR([]RERRDest{{Dst: pkt.Dst, Seq: seq}})
+	a.rerrBuf = append(a.rerrBuf[:0], RERRDest{Dst: dst, Seq: seq})
+	a.sendRERR(a.rerrBuf)
 }
 
 func (a *AODV) queuePacket(pkt *routing.DataPacket) {
@@ -344,6 +360,42 @@ func (a *AODV) flushPending(dst routing.NodeID) {
 	}
 }
 
+// DataFailed implements routing.DataFailureHandler: the MAC exhausted its
+// retries toward next, returning the packet's ownership to the protocol.
+func (a *AODV) DataFailed(next routing.NodeID, pkt *routing.DataPacket) {
+	a.linkFailure(next, pkt)
+}
+
+// RecycleMessage implements routing.MessageRecycler: the node layer hands
+// back a control message once its frame is fully released.
+func (a *AODV) RecycleMessage(msg routing.Message) {
+	switch m := msg.(type) {
+	case *RREQ:
+		a.rreqPool.Put(m)
+	case *RREP:
+		a.rrepPool.Put(m)
+	case *RERR:
+		m.Unreachable = m.Unreachable[:0] // keep capacity for reuse
+		a.rerrPool.Put(m)
+	case *Hello:
+		a.helloPool.Put(m)
+	}
+}
+
+// sendRREQ, sendRREP: wrap a handler-built value in a pooled message for
+// the wire. The pooled object belongs to the frame until recycled.
+func (a *AODV) sendRREQ(to routing.NodeID, q RREQ) {
+	m := a.rreqPool.Get()
+	*m = q
+	a.node.SendControl(to, m, nil)
+}
+
+func (a *AODV) sendRREP(to routing.NodeID, p RREP) {
+	m := a.rrepPool.Get()
+	*m = p
+	a.node.SendControl(to, m, nil)
+}
+
 // linkFailure invalidates routes through the broken next hop. AODV
 // increments each invalidated destination's stored sequence number — the
 // mechanism whose side effects the LDR paper analyzes.
@@ -351,7 +403,7 @@ func (a *AODV) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 	if a.stopped {
 		return
 	}
-	var broken []RERRDest
+	broken := a.rerrBuf[:0]
 	for dst, e := range a.routes {
 		if e.valid && e.next == next {
 			e.seq++
@@ -359,6 +411,7 @@ func (a *AODV) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 			broken = append(broken, RERRDest{Dst: dst, Seq: e.seq})
 		}
 	}
+	a.rerrBuf = broken[:0]
 	if pkt.Src != a.node.ID() && a.cfg.LocalRepair && a.canRepair(pkt.Dst) {
 		// Local repair: hold the RERR, buffer the packet, and try a
 		// small-TTL rediscovery from here (the stored seq was already
@@ -439,7 +492,7 @@ func (a *AODV) broadcastRREQ(dst routing.NodeID, d *discovery) {
 		q.UnknownSeq = false
 	}
 	a.node.Metrics().CountControlInitiate(metrics.RREQ)
-	a.node.SendControl(routing.BroadcastID, q, nil)
+	a.sendRREQ(routing.BroadcastID, q)
 
 	timeout := 2 * time.Duration(d.ttl) * a.cfg.NodeTraversalTime
 	d.timer = a.node.Schedule(timeout, func() { a.discoveryTimeout(dst, d) })
@@ -484,7 +537,17 @@ func (a *AODV) HandleControl(from routing.NodeID, msg routing.Message) {
 	if a.stopped {
 		return
 	}
+	// The wire carries pooled pointers; tests and the adversary layer may
+	// still construct value messages directly.
 	switch m := msg.(type) {
+	case *RREQ:
+		a.handleRREQ(from, *m)
+	case *RREP:
+		a.handleRREP(from, *m)
+	case *RERR:
+		a.handleRERR(from, *m)
+	case *Hello:
+		a.handleHello(from, *m)
 	case RREQ:
 		a.handleRREQ(from, m)
 	case RREP:
@@ -571,7 +634,7 @@ func (a *AODV) handleRREQ(from routing.NodeID, q RREQ) {
 		if a.stopped {
 			return
 		}
-		a.node.SendControl(routing.BroadcastID, rq, nil)
+		a.sendRREQ(routing.BroadcastID, rq)
 	})
 }
 
@@ -582,7 +645,7 @@ func (a *AODV) reply(p RREP, origin routing.NodeID) {
 		return
 	}
 	a.node.Metrics().CountControlInitiate(metrics.RREP)
-	a.node.SendControl(rev.next, p, nil)
+	a.sendRREP(rev.next, p)
 }
 
 // gratuitousRREP tells the destination about the origin when an
@@ -596,7 +659,7 @@ func (a *AODV) gratuitousRREP(q RREQ, e *entry, now time.Duration) {
 		Lifetime: a.cfg.ActiveRouteTimeout,
 	}
 	a.node.Metrics().CountControlInitiate(metrics.RREP)
-	a.node.SendControl(e.next, g, nil)
+	a.sendRREP(e.next, g)
 }
 
 func (a *AODV) handleRREP(from routing.NodeID, p RREP) {
@@ -614,9 +677,7 @@ func (a *AODV) handleRREP(from routing.NodeID, p RREP) {
 
 	if p.Origin == me {
 		if d, ok := a.active[p.Dst]; ok && usable {
-			if d.timer != nil {
-				d.timer.Cancel()
-			}
+			d.timer.Cancel()
 			delete(a.active, p.Dst)
 		}
 		return
@@ -633,7 +694,7 @@ func (a *AODV) handleRREP(from routing.NodeID, p RREP) {
 		e.precursor(rev.next)
 	}
 	rev.refresh(now, a.cfg.ActiveRouteTimeout)
-	a.node.SendControl(rev.next, fwd, nil)
+	a.sendRREP(rev.next, fwd)
 }
 
 func (a *AODV) handleRERR(from routing.NodeID, e RERR) {
@@ -641,7 +702,7 @@ func (a *AODV) handleRERR(from routing.NodeID, e RERR) {
 		a.node.Metrics().RERRSuppressed++
 		return
 	}
-	var propagate []RERRDest
+	propagate := a.rerrBuf[:0]
 	for _, u := range e.Unreachable {
 		ent := a.routes[u.Dst]
 		if ent != nil && ent.valid && ent.next == from {
@@ -652,14 +713,19 @@ func (a *AODV) handleRERR(from routing.NodeID, e RERR) {
 			propagate = append(propagate, RERRDest{Dst: u.Dst, Seq: ent.seq})
 		}
 	}
+	a.rerrBuf = propagate[:0]
 	if len(propagate) > 0 {
 		a.sendRERR(propagate)
 	}
 }
 
+// sendRERR copies the broken-destination list into a pooled RERR; the
+// caller's slice (typically a.rerrBuf) is free for reuse on return.
 func (a *AODV) sendRERR(broken []RERRDest) {
 	a.node.Metrics().CountControlInitiate(metrics.RERR)
-	a.node.SendControl(routing.BroadcastID, RERR{Unreachable: broken}, nil)
+	m := a.rerrPool.Get()
+	m.Unreachable = append(m.Unreachable[:0], broken...)
+	a.node.SendControl(routing.BroadcastID, m, nil)
 }
 
 // --- routing table updates ---

@@ -22,7 +22,7 @@ type Hello struct {
 func (Hello) Kind() metrics.ControlKind { return metrics.Hello }
 
 // Size implements routing.Message.
-func (h Hello) Size() int { return len(h.Marshal()) }
+func (Hello) Size() int { return helloWireSize }
 
 // Marshal encodes the Hello to its wire format.
 func (h Hello) Marshal() []byte {
@@ -66,7 +66,9 @@ func (a *AODV) helloTick() {
 	if hasActive {
 		a.ownSeq++
 		a.node.Metrics().CountControlInitiate(metrics.Hello)
-		a.node.SendControl(routing.BroadcastID, Hello{Origin: a.node.ID(), Seq: a.ownSeq}, nil)
+		h := a.helloPool.Get()
+		*h = Hello{Origin: a.node.ID(), Seq: a.ownSeq}
+		a.node.SendControl(routing.BroadcastID, h, nil)
 	}
 	a.checkNeighborLiveness(now)
 	a.helloTimer = a.node.Schedule(a.cfg.HelloInterval, a.helloTick)
@@ -87,7 +89,7 @@ func (a *AODV) checkNeighborLiveness(now time.Duration) {
 			continue
 		}
 		delete(a.lastHeard, nb)
-		var broken []RERRDest
+		broken := a.rerrBuf[:0]
 		for dst, e := range a.routes {
 			if e.valid && e.next == nb {
 				e.seq++
@@ -95,6 +97,7 @@ func (a *AODV) checkNeighborLiveness(now time.Duration) {
 				broken = append(broken, RERRDest{Dst: dst, Seq: e.seq})
 			}
 		}
+		a.rerrBuf = broken[:0]
 		if len(broken) > 0 {
 			a.sendRERR(broken)
 		}

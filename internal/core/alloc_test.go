@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+)
+
+// ldrRoundTripAllocCeiling bounds one full LDR round trip on a warm
+// 3-node chain: an expired route, a fresh RREQ flood, the destination's
+// RREP, and the queued data packet's delivery. Discovery legitimately
+// allocates a little (duplicate-cache entries and their expiry closures,
+// the per-destination discovery record); the ceiling exists to catch the
+// hot path regressing to per-packet marshalling or message boxing, which
+// costs tens of allocations per round. Measured ~9 per round when the
+// pools landed.
+const ldrRoundTripAllocCeiling = 30
+
+// TestLDRRREQRoundTripAllocBound runs repeated discovery+delivery rounds
+// and fails when a round's average heap allocations exceed the ceiling.
+func TestLDRRREQRoundTripAllocBound(t *testing.T) {
+	nw := lineNetwork(t, 3, 11)
+	nw.Start()
+	// Space rounds past ActiveRouteTimeout (3s) so every round starts
+	// with an expired route and must rediscover it.
+	const window = 5 * time.Second
+	var at time.Duration
+	round := func() {
+		nw.Sim.At(at, func() { nw.Nodes[0].OriginateData(2, 256) })
+		at += window
+		nw.Sim.Run(at)
+	}
+	for i := 0; i < 16; i++ {
+		round() // warm the pools
+	}
+	if got, want := nw.Collector.DataInitiated, uint64(16); got != want {
+		t.Fatalf("warmup initiated %d packets, want %d", got, want)
+	}
+	avg := testing.AllocsPerRun(50, round)
+	t.Logf("LDR RREQ round trip: %.1f allocs per round (ceiling %d)", avg, ldrRoundTripAllocCeiling)
+	if avg > ldrRoundTripAllocCeiling {
+		t.Fatalf("LDR RREQ round trip allocates %.1f per round, ceiling %d",
+			avg, ldrRoundTripAllocCeiling)
+	}
+	if nw.Collector.DataDelivered < nw.Collector.DataInitiated-1 {
+		t.Fatalf("rounds stopped delivering: %d of %d",
+			nw.Collector.DataDelivered, nw.Collector.DataInitiated)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/manetlab/ldr/internal/metrics"
 	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/runpool"
 	"github.com/manetlab/ldr/internal/sim"
 )
 
@@ -117,7 +118,7 @@ type discovery struct {
 	id      uint32
 	ttl     int
 	retries int // network-wide attempts used
-	timer   *sim.Event
+	timer   sim.Timer
 }
 
 // LDR is one node's instance of the labeled distance routing protocol.
@@ -136,13 +137,24 @@ type LDR struct {
 
 	rreqLimiter *routing.RateLimiter
 	rerrLimiter *routing.RateLimiter
+
+	// Free lists for outgoing control messages (recycled by the node
+	// layer once the carrying frame is released) and a scratch buffer
+	// for collecting broken destinations before they are copied into a
+	// pooled RERR.
+	rreqPool runpool.Pool[RREQ]
+	rrepPool runpool.Pool[RREP]
+	rerrPool runpool.Pool[RERR]
+	rerrBuf  []RERRDest
 }
 
 var (
-	_ routing.Protocol         = (*LDR)(nil)
-	_ routing.TableSnapshotter = (*LDR)(nil)
-	_ routing.TableAppender    = (*LDR)(nil)
-	_ routing.Resetter         = (*LDR)(nil)
+	_ routing.Protocol           = (*LDR)(nil)
+	_ routing.TableSnapshotter   = (*LDR)(nil)
+	_ routing.TableAppender      = (*LDR)(nil)
+	_ routing.Resetter           = (*LDR)(nil)
+	_ routing.DataFailureHandler = (*LDR)(nil)
+	_ routing.MessageRecycler    = (*LDR)(nil)
 )
 
 // New builds an LDR instance bound to a node.
@@ -169,9 +181,7 @@ func (l *LDR) Start() {}
 func (l *LDR) Stop() {
 	l.stopped = true
 	for _, d := range l.active {
-		if d.timer != nil {
-			d.timer.Cancel()
-		}
+		d.timer.Cancel()
 	}
 }
 
@@ -196,9 +206,7 @@ func (l *LDR) Stop() {
 // cache lifetime.
 func (l *LDR) Reset() {
 	for _, d := range l.active {
-		if d.timer != nil {
-			d.timer.Cancel()
-		}
+		d.timer.Cancel()
 	}
 	for _, q := range l.pending {
 		for _, pkt := range q {
@@ -260,8 +268,7 @@ func (l *LDR) sendOrQueue(pkt *routing.DataPacket) {
 	e := l.routes.get(pkt.Dst)
 	if e.active(now) {
 		e.refresh(now, l.cfg.ActiveRouteTimeout)
-		next := e.next
-		l.node.SendData(next, pkt, nil, func() { l.linkFailure(next, pkt) })
+		l.node.SendData(e.next, pkt)
 		return
 	}
 	if pkt.Src == l.node.ID() {
@@ -269,8 +276,10 @@ func (l *LDR) sendOrQueue(pkt *routing.DataPacket) {
 		l.solicit(pkt.Dst)
 		return
 	}
+	dst := pkt.Dst
 	l.node.DropData(pkt, routing.DropNoRoute)
-	l.sendRERR([]RERRDest{{Dst: pkt.Dst, Seq: l.seqFor(pkt.Dst)}})
+	l.rerrBuf = append(l.rerrBuf[:0], RERRDest{Dst: dst, Seq: l.seqFor(dst)})
+	l.sendRERR(l.rerrBuf)
 }
 
 func (l *LDR) queuePacket(pkt *routing.DataPacket) {
@@ -294,6 +303,43 @@ func (l *LDR) flushPending(dst routing.NodeID) {
 	}
 }
 
+// DataFailed implements routing.DataFailureHandler: the MAC exhausted its
+// retries toward next, returning the packet's ownership to the protocol.
+func (l *LDR) DataFailed(next routing.NodeID, pkt *routing.DataPacket) {
+	if l.stopped {
+		return
+	}
+	l.linkFailure(next, pkt)
+}
+
+// RecycleMessage implements routing.MessageRecycler: the node layer hands
+// back a control message once its frame is fully released.
+func (l *LDR) RecycleMessage(msg routing.Message) {
+	switch m := msg.(type) {
+	case *RREQ:
+		l.rreqPool.Put(m)
+	case *RREP:
+		l.rrepPool.Put(m)
+	case *RERR:
+		m.Unreachable = m.Unreachable[:0] // keep capacity for reuse
+		l.rerrPool.Put(m)
+	}
+}
+
+// sendRREQ, sendRREP: wrap a handler-built value in a pooled message for
+// the wire. The pooled object belongs to the frame until recycled.
+func (l *LDR) sendRREQ(to routing.NodeID, q RREQ) {
+	m := l.rreqPool.Get()
+	*m = q
+	l.node.SendControl(to, m, nil)
+}
+
+func (l *LDR) sendRREP(to routing.NodeID, p RREP) {
+	m := l.rrepPool.Get()
+	*m = p
+	l.node.SendControl(to, m, nil)
+}
+
 // linkFailure handles a MAC-layer unicast failure toward next: every route
 // through next is invalidated (keeping sn and fd — LDR's reset discipline
 // means no sequence numbers are touched), a RERR is issued, and any
@@ -302,7 +348,7 @@ func (l *LDR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 	if l.stopped {
 		return
 	}
-	var broken []RERRDest
+	broken := l.rerrBuf[:0]
 	for dst, e := range l.routes {
 		e.dropAlt(next)
 		if e.valid && e.next == next {
@@ -313,6 +359,7 @@ func (l *LDR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 			broken = append(broken, RERRDest{Dst: dst, Seq: e.seq})
 		}
 	}
+	l.rerrBuf = broken[:0]
 	if len(broken) > 0 {
 		l.sendRERR(broken)
 	}
@@ -399,7 +446,7 @@ func (l *LDR) broadcastRREQ(dst routing.NodeID, d *discovery) {
 		q.FD = e.fd
 	}
 	l.node.Metrics().CountControlInitiate(metrics.RREQ)
-	l.node.SendControl(routing.BroadcastID, q, nil)
+	l.sendRREQ(routing.BroadcastID, q)
 
 	timeout := 2 * time.Duration(d.ttl) * l.cfg.NodeTraversalTime
 	d.timer = l.node.Schedule(timeout, func() { l.discoveryTimeout(dst, d) })
@@ -439,7 +486,15 @@ func (l *LDR) HandleControl(from routing.NodeID, msg routing.Message) {
 	if l.stopped {
 		return
 	}
+	// The wire carries pooled pointers; tests and the adversary layer may
+	// still construct value messages directly.
 	switch m := msg.(type) {
+	case *RREQ:
+		l.handleRREQ(from, *m)
+	case *RREP:
+		l.handleRREP(from, *m)
+	case *RERR:
+		l.handleRERR(from, *m)
 	case RREQ:
 		l.handleRREQ(from, m)
 	case RREP:
@@ -544,7 +599,7 @@ func (l *LDR) handleRREQ(from routing.NodeID, q RREQ) {
 		if l.stopped {
 			return
 		}
-		l.node.SendControl(routing.BroadcastID, rq, nil)
+		l.sendRREQ(routing.BroadcastID, rq)
 	})
 }
 
@@ -618,7 +673,7 @@ func (l *LDR) forwardUnicastRREQ(q RREQ) {
 	if q.TTL <= 0 {
 		return
 	}
-	l.node.SendControl(e.next, q, nil)
+	l.sendRREQ(e.next, q)
 }
 
 // destinationReply implements the destination's reset duty: raise the
@@ -644,7 +699,7 @@ func (l *LDR) destinationReply(q RREQ, st *reqState) {
 		N:        q.N,
 	}
 	l.node.Metrics().CountControlInitiate(metrics.RREP)
-	l.node.SendControl(st.lastHop, p, nil)
+	l.sendRREP(st.lastHop, p)
 }
 
 // maybeAltReply sends an additional destination RREP along an alternate
@@ -669,7 +724,7 @@ func (l *LDR) maybeAltReply(q RREQ, st *reqState, from routing.NodeID) {
 		N:        q.N,
 	}
 	l.node.Metrics().CountControlInitiate(metrics.RREP)
-	l.node.SendControl(from, p, nil)
+	l.sendRREP(from, p)
 }
 
 // sendReply issues an SDC advertisement from an intermediate node.
@@ -688,7 +743,7 @@ func (l *LDR) sendReply(q RREQ, e *entry, now time.Duration) {
 		N:        q.N,
 	}
 	l.node.Metrics().CountControlInitiate(metrics.RREP)
-	l.node.SendControl(st.lastHop, p, nil)
+	l.sendRREP(st.lastHop, p)
 }
 
 // handleRREP implements Procedure 4 (Relay Advertisement).
@@ -709,9 +764,7 @@ func (l *LDR) handleRREP(from routing.NodeID, p RREP) {
 		// Terminus: the computation (me, ReqID) ends in success if the
 		// advertisement was feasible here.
 		if d, ok := l.active[p.Dst]; ok && accepted {
-			if d.timer != nil {
-				d.timer.Cancel()
-			}
+			d.timer.Cancel()
 			delete(l.active, p.Dst)
 		}
 		if p.N && accepted {
@@ -758,7 +811,7 @@ func (l *LDR) handleRREP(from routing.NodeID, p RREP) {
 	st.relayed = true
 	st.relayedSeq = fwd.DstSeq
 	st.relayedDist = fwd.Dist
-	l.node.SendControl(st.lastHop, fwd, nil)
+	l.sendRREP(st.lastHop, fwd)
 }
 
 // handleRERR invalidates routes whose next hop reported them broken and
@@ -768,7 +821,7 @@ func (l *LDR) handleRERR(from routing.NodeID, e RERR) {
 		l.node.Metrics().RERRSuppressed++
 		return
 	}
-	var propagate []RERRDest
+	propagate := l.rerrBuf[:0]
 	for _, u := range e.Unreachable {
 		ent := l.routes.get(u.Dst)
 		if ent == nil {
@@ -783,14 +836,19 @@ func (l *LDR) handleRERR(from routing.NodeID, e RERR) {
 			propagate = append(propagate, RERRDest{Dst: u.Dst, Seq: ent.seq})
 		}
 	}
+	l.rerrBuf = propagate[:0]
 	if len(propagate) > 0 {
 		l.sendRERR(propagate)
 	}
 }
 
+// sendRERR copies the broken-destination list into a pooled RERR; the
+// caller's slice (typically l.rerrBuf) is free for reuse on return.
 func (l *LDR) sendRERR(broken []RERRDest) {
 	l.node.Metrics().CountControlInitiate(metrics.RERR)
-	l.node.SendControl(routing.BroadcastID, RERR{Unreachable: broken}, nil)
+	m := l.rerrPool.Get()
+	m.Unreachable = append(m.Unreachable[:0], broken...)
+	l.node.SendControl(routing.BroadcastID, m, nil)
 }
 
 // acceptAdvertisement applies NDC + Procedure 3 for an advertisement of

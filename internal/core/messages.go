@@ -9,8 +9,8 @@ import (
 
 // RREQ is an LDR route request: simultaneously a solicitation for a route
 // to Dst and an advertisement of a route back to Origin (paper §2, Table 1
-// notation). Messages are relayed by value; every hop works on its own
-// copy.
+// notation). Handlers work on their own value copy; the wire carries
+// pooled pointers that the sending node recycles after transmission.
 type RREQ struct {
 	Dst        routing.NodeID
 	DstSeq     Seqno // sn#: requested sequence number for Dst
@@ -33,8 +33,10 @@ type RREQ struct {
 func (RREQ) Kind() metrics.ControlKind { return metrics.RREQ }
 
 // Size implements routing.Message: the length of the real encoding
-// (fixed AODV-style fields plus the labeled-distance extension).
-func (q RREQ) Size() int { return len(q.Marshal()) }
+// (fixed AODV-style fields plus the labeled-distance extension), computed
+// arithmetically so the hot send path does not marshal; wire tests pin it
+// to len(Marshal()).
+func (RREQ) Size() int { return rreqWireSize }
 
 // RREP is an LDR route reply: an advertisement of a route to Dst,
 // forwarded hop-by-hop along the reverse path recorded by the RREQ flood.
@@ -52,7 +54,7 @@ type RREP struct {
 func (RREP) Kind() metrics.ControlKind { return metrics.RREP }
 
 // Size implements routing.Message.
-func (p RREP) Size() int { return len(p.Marshal()) }
+func (RREP) Size() int { return rrepWireSize }
 
 // RERRDest names one unreachable destination inside a RERR.
 type RERRDest struct {
@@ -72,4 +74,13 @@ type RERR struct {
 func (RERR) Kind() metrics.ControlKind { return metrics.RERR }
 
 // Size implements routing.Message.
-func (e RERR) Size() int { return len(e.Marshal()) }
+func (e RERR) Size() int { return rerrWireBase + rerrWirePerDest*len(e.Unreachable) }
+
+// Wire sizes of the fixed-layout encodings (type byte included); pinned
+// against Marshal by the wire round-trip tests.
+const (
+	rreqWireSize    = 1 + 1 + 4 + 8 + 4 + 8 + 4 + 4 + 4 + 4 + 1
+	rrepWireSize    = 1 + 1 + 4 + 8 + 4 + 4 + 4 + 4
+	rerrWireBase    = 1 + 2
+	rerrWirePerDest = 4 + 8
+)

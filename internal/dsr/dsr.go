@@ -20,6 +20,7 @@ import (
 
 	"github.com/manetlab/ldr/internal/metrics"
 	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/runpool"
 	"github.com/manetlab/ldr/internal/sim"
 )
 
@@ -84,8 +85,10 @@ type RREQ struct {
 // Kind implements routing.Message.
 func (RREQ) Kind() metrics.ControlKind { return metrics.RREQ }
 
-// Size implements routing.Message.
-func (q RREQ) Size() int { return len(q.Marshal()) }
+// Size implements routing.Message: computed arithmetically from the wire
+// layout so the hot send path does not marshal; the wire round-trip tests
+// pin it to len(Marshal()).
+func (q RREQ) Size() int { return rreqWireBase + wirePerHop*len(q.Route) }
 
 // RREP carries the complete discovered route back to the origin. It is
 // source-routed along the reversed request record.
@@ -101,7 +104,7 @@ type RREP struct {
 func (RREP) Kind() metrics.ControlKind { return metrics.RREP }
 
 // Size implements routing.Message.
-func (p RREP) Size() int { return len(p.Marshal()) }
+func (p RREP) Size() int { return rrepWireBase + wirePerHop*len(p.Route) }
 
 // RERR reports a broken source-route link to the packet's origin. It is
 // source-routed back along the failed packet's traversed prefix.
@@ -116,7 +119,16 @@ type RERR struct {
 func (RERR) Kind() metrics.ControlKind { return metrics.RERR }
 
 // Size implements routing.Message.
-func (e RERR) Size() int { return len(e.Marshal()) }
+func (e RERR) Size() int { return rerrWireBase + wirePerHop*len(e.Route) }
+
+// Wire sizes of the fixed-layout prefixes (type byte and route-length
+// count included); pinned against Marshal by the wire round-trip tests.
+const (
+	rreqWireBase = 1 + 4 + 4 + 4 + 1 + 2
+	rrepWireBase = 1 + 4 + 4 + 4 + 2 + 2
+	rerrWireBase = 1 + 4 + 4 + 4 + 2 + 2
+	wirePerHop   = 4
+)
 
 type reqKey struct {
 	origin routing.NodeID
@@ -126,7 +138,7 @@ type reqKey struct {
 type discovery struct {
 	id      uint32
 	retries int
-	timer   *sim.Event
+	timer   sim.Timer
 }
 
 // DSR is one node's protocol instance.
@@ -140,11 +152,19 @@ type DSR struct {
 	active    map[routing.NodeID]*discovery
 	nextReqID uint32
 	stopped   bool
+
+	// Run-local message pools: wire messages are pooled pointers recycled
+	// by the sending node once the MAC releases the frame.
+	rreqPool runpool.Pool[RREQ]
+	rrepPool runpool.Pool[RREP]
+	rerrPool runpool.Pool[RERR]
 }
 
 var (
-	_ routing.Protocol = (*DSR)(nil)
-	_ routing.Resetter = (*DSR)(nil)
+	_ routing.Protocol           = (*DSR)(nil)
+	_ routing.Resetter           = (*DSR)(nil)
+	_ routing.DataFailureHandler = (*DSR)(nil)
+	_ routing.MessageRecycler    = (*DSR)(nil)
 )
 
 // New builds a DSR instance bound to a node.
@@ -182,10 +202,13 @@ func (d *DSR) onOverhear(from routing.NodeID, data *routing.DataPacket, msg rout
 	case data != nil && len(data.SourceRoute) > 0:
 		learn(data.SourceRoute, data.SRIndex)
 	case msg != nil:
-		if p, ok := msg.(RREP); ok {
-			// The reply travels the reversed route; the transmitter sits at
-			// Index on the reversed path, i.e. len-1-Index on the forward
-			// route, from where the route continues to the target.
+		// The reply travels the reversed route; the transmitter sits at
+		// Index on the reversed path, i.e. len-1-Index on the forward
+		// route, from where the route continues to the target.
+		switch p := msg.(type) {
+		case *RREP:
+			learn(p.Route, len(p.Route)-1-p.Index)
+		case RREP:
 			learn(p.Route, len(p.Route)-1-p.Index)
 		}
 	}
@@ -195,9 +218,7 @@ func (d *DSR) onOverhear(from routing.NodeID, data *routing.DataPacket, msg rout
 func (d *DSR) Stop() {
 	d.stopped = true
 	for _, disc := range d.active {
-		if disc.timer != nil {
-			disc.timer.Cancel()
-		}
+		disc.timer.Cancel()
 	}
 }
 
@@ -209,9 +230,7 @@ func (d *DSR) Stop() {
 // the fresh one.
 func (d *DSR) Reset() {
 	for _, disc := range d.active {
-		if disc.timer != nil {
-			disc.timer.Cancel()
-		}
+		disc.timer.Cancel()
 	}
 	for _, q := range d.pending {
 		for _, pkt := range q {
@@ -279,7 +298,14 @@ func (d *DSR) transmitAlongRoute(pkt *routing.DataPacket) {
 		return
 	}
 	next := pkt.SourceRoute[pkt.SRIndex+1]
-	d.node.SendData(next, pkt, nil, func() { d.linkFailure(pkt, next) })
+	d.node.SendData(next, pkt)
+}
+
+// DataFailed implements routing.DataFailureHandler: the MAC exhausted its
+// retries on the next hop, so route maintenance takes the packet back.
+// Note linkFailure's (pkt, next) argument order.
+func (d *DSR) DataFailed(next routing.NodeID, pkt *routing.DataPacket) {
+	d.linkFailure(pkt, next)
 }
 
 // linkFailure implements route maintenance: purge the link, notify the
@@ -324,7 +350,49 @@ func (d *DSR) sendRERR(pkt *routing.DataPacket, next routing.NodeID) {
 	}
 	e := RERR{From: me, To: next, Origin: pkt.Src, Route: ret, Index: 0}
 	d.node.Metrics().CountControlInitiate(metrics.RERR)
-	d.node.SendControl(ret[1], e, nil)
+	d.emitRERR(ret[1], e)
+}
+
+// emitRREQ, emitRREP, and emitRERR copy a message value into a pooled
+// wire message (reusing its route capacity) and hand it to the MAC; the
+// node recycles it via RecycleMessage once the frame is released.
+func (d *DSR) emitRREQ(to routing.NodeID, q RREQ) {
+	m := d.rreqPool.Get()
+	route := m.Route
+	*m = q
+	m.Route = append(route[:0], q.Route...)
+	d.node.SendControl(to, m, nil)
+}
+
+func (d *DSR) emitRREP(to routing.NodeID, p RREP) {
+	m := d.rrepPool.Get()
+	route := m.Route
+	*m = p
+	m.Route = append(route[:0], p.Route...)
+	d.node.SendControl(to, m, nil)
+}
+
+func (d *DSR) emitRERR(to routing.NodeID, e RERR) {
+	m := d.rerrPool.Get()
+	route := m.Route
+	*m = e
+	m.Route = append(route[:0], e.Route...)
+	d.node.SendControl(to, m, nil)
+}
+
+// RecycleMessage implements routing.MessageRecycler.
+func (d *DSR) RecycleMessage(msg routing.Message) {
+	switch m := msg.(type) {
+	case *RREQ:
+		m.Route = m.Route[:0]
+		d.rreqPool.Put(m)
+	case *RREP:
+		m.Route = m.Route[:0]
+		d.rrepPool.Put(m)
+	case *RERR:
+		m.Route = m.Route[:0]
+		d.rerrPool.Put(m)
+	}
 }
 
 func (d *DSR) queuePacket(pkt *routing.DataPacket) {
@@ -383,7 +451,7 @@ func (d *DSR) broadcastRREQ(dst routing.NodeID, disc *discovery) {
 		TTL:    ttl,
 	}
 	d.node.Metrics().CountControlInitiate(metrics.RREQ)
-	d.node.SendControl(routing.BroadcastID, q, nil)
+	d.emitRREQ(routing.BroadcastID, q)
 
 	wait := d.cfg.DiscoveryTimeout
 	if disc.retries > 0 {
@@ -421,11 +489,20 @@ func (d *DSR) HandleControl(from routing.NodeID, msg routing.Message) {
 	if d.stopped {
 		return
 	}
+	// The wire path delivers pooled pointer messages (read-only, valid
+	// only during the call); tests and the adversary layer may still hand
+	// in plain values.
 	switch m := msg.(type) {
+	case *RREQ:
+		d.handleRREQ(*m)
 	case RREQ:
 		d.handleRREQ(m)
+	case *RREP:
+		d.handleRREP(*m)
 	case RREP:
 		d.handleRREP(m)
+	case *RERR:
+		d.handleRERR(*m)
 	case RERR:
 		d.handleRERR(m)
 	}
@@ -476,7 +553,7 @@ func (d *DSR) handleRREQ(q RREQ) {
 		if d.stopped {
 			return
 		}
-		d.node.SendControl(routing.BroadcastID, rq, nil)
+		d.emitRREQ(routing.BroadcastID, rq)
 	})
 }
 
@@ -498,7 +575,7 @@ func (d *DSR) reply(p RREP) {
 	}
 	p.Index = start
 	d.node.Metrics().CountControlInitiate(metrics.RREP)
-	d.node.SendControl(ret[start+1], p, nil)
+	d.emitRREP(ret[start+1], p)
 }
 
 func (d *DSR) handleRREP(p RREP) {
@@ -510,9 +587,7 @@ func (d *DSR) handleRREP(p RREP) {
 		d.cache.add(p.Route, now)
 		d.node.Metrics().RREPUsable++
 		if disc, ok := d.active[p.Target]; ok {
-			if disc.timer != nil {
-				disc.timer.Cancel()
-			}
+			disc.timer.Cancel()
 			delete(d.active, p.Target)
 		}
 		d.flushPending(p.Target)
@@ -533,7 +608,7 @@ func (d *DSR) handleRREP(p RREP) {
 	}
 	fwd := p
 	fwd.Index = idx
-	d.node.SendControl(ret[idx+1], fwd, nil)
+	d.emitRREP(ret[idx+1], fwd)
 }
 
 func (d *DSR) handleRERR(e RERR) {
@@ -551,7 +626,7 @@ func (d *DSR) handleRERR(e RERR) {
 	}
 	fwd := e
 	fwd.Index = idx
-	d.node.SendControl(e.Route[idx+1], fwd, nil)
+	d.emitRERR(e.Route[idx+1], fwd)
 }
 
 // --- helpers ---

@@ -58,3 +58,23 @@ func TestSizeGrowsWithRoute(t *testing.T) {
 		t.Fatalf("per-hop header cost: %d -> %d", short.Size(), long.Size())
 	}
 }
+
+// TestSizesMatchEncodings pins the arithmetic Size() — used by the hot
+// send path instead of marshalling — to the real encoded length.
+func TestSizesMatchEncodings(t *testing.T) {
+	q := RREQ{TTL: 3, Route: ids(0, 1, 2)}
+	if q.Size() != len(q.Marshal()) {
+		t.Fatalf("RREQ.Size = %d, encoding is %d bytes", q.Size(), len(q.Marshal()))
+	}
+	p := RREP{Route: ids(0, 1)}
+	if p.Size() != len(p.Marshal()) {
+		t.Fatalf("RREP.Size = %d, encoding is %d bytes", p.Size(), len(p.Marshal()))
+	}
+	e := RERR{Route: ids(2, 1, 0)}
+	if e.Size() != len(e.Marshal()) {
+		t.Fatalf("RERR.Size = %d, encoding is %d bytes", e.Size(), len(e.Marshal()))
+	}
+	if empty := (RERR{}); empty.Size() != len(empty.Marshal()) {
+		t.Fatalf("empty RERR.Size = %d, encoding is %d bytes", empty.Size(), len(empty.Marshal()))
+	}
+}

@@ -4,9 +4,16 @@
 // comparisons: carrier sensing with DIFS deferral, slotted binary
 // exponential backoff, unreliable broadcast (single attempt, no ACK), and
 // reliable unicast (SIFS-spaced ACK, up to RetryLimit retransmissions).
-// Exhausting retransmissions triggers the OnFail callback, which the
+// Exhausting retransmissions triggers the failure callback, which the
 // routing protocols use as link-layer failure detection — exactly how
 // AODV, DSR, and LDR detect broken links in the paper's simulations.
+//
+// The steady-state transmit path allocates nothing: air frames are drawn
+// from a per-MAC free list and reference counted across their receptions
+// (radio.Releasable), every scheduled continuation is a package-level
+// function fed through sim.ScheduleTransient with the MAC pointer and the
+// power-cycle epoch as arguments, and completion callbacks dispatch
+// through the FrameHandler interface instead of per-frame closures.
 package mac
 
 import (
@@ -14,6 +21,7 @@ import (
 
 	"github.com/manetlab/ldr/internal/radio"
 	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/runpool"
 	"github.com/manetlab/ldr/internal/sim"
 )
 
@@ -63,13 +71,48 @@ func DefaultConfig() Config {
 	}
 }
 
+// FrameHandler receives a frame's completion events without per-frame
+// closures: one handler instance (the network layer) serves every frame
+// it sends. FrameSent/FrameFailed mirror OnSent/OnFail; FrameReleased
+// fires once the MAC and radio are completely done with the frame — no
+// queued, in-flight, or fault-delayed reference remains — and is where a
+// pooling network layer reclaims the frame and its payload.
+type FrameHandler interface {
+	FrameSent(f *Frame)     // frame left the interface (broadcast) or was ACKed (unicast)
+	FrameFailed(f *Frame)   // unicast retry limit exhausted or queue overflow
+	FrameReleased(f *Frame) // last reference dropped; frame memory may be recycled
+}
+
 // Frame is one network-layer packet handed to the MAC for transmission.
+// Completion is reported through Handler when set, else through the
+// OnSent/OnFail closures (Handler avoids the per-frame closure
+// allocations on the hot path; the closures remain for tests and simple
+// callers).
 type Frame struct {
-	To      int    // destination MAC address, BroadcastAddr for broadcast
-	Bytes   int    // network-layer size in bytes (MAC adds HeaderBytes)
-	Payload any    // opaque network-layer packet
-	OnSent  func() // optional: frame left the interface (broadcast) or was ACKed (unicast)
-	OnFail  func() // optional: unicast retry limit exhausted
+	To      int          // destination MAC address, BroadcastAddr for broadcast
+	Bytes   int          // network-layer size in bytes (MAC adds HeaderBytes)
+	Payload any          // opaque network-layer packet
+	Handler FrameHandler // optional completion/release target
+	OnSent  func()       // optional: frame left the interface (broadcast) or was ACKed (unicast)
+	OnFail  func()       // optional: unicast retry limit exhausted
+
+	// Failed reports how the frame completed (set before FrameFailed and
+	// FrameReleased fire); a frame wiped by Reset is also marked failed.
+	Failed bool
+
+	refs int32 // queue slot + one per in-flight air frame
+}
+
+// release drops one reference; the last reference hands the frame to its
+// handler for recycling.
+func (f *Frame) release() {
+	f.refs--
+	if f.refs != 0 {
+		return
+	}
+	if f.Handler != nil {
+		f.Handler.FrameReleased(f)
+	}
 }
 
 // DeliverFunc receives frames addressed to this node (or broadcast).
@@ -88,16 +131,41 @@ const (
 	airCTS
 )
 
-// airFrame is what actually crosses the radio.
+// airFrame is what actually crosses the radio. Air frames are pooled per
+// MAC and reference counted: the radio takes a reference per reception
+// (and per fault-delayed delivery), so the frame body stays readable
+// until the last receiver is done, then returns to its owner's pool.
 type airFrame struct {
 	kind    airKind
 	src     int
 	dst     int
 	seq     uint32
 	retried bool
+	bits    int           // on-air size, kept for deferred transmission
 	dur     time.Duration // RTS/CTS: remaining exchange duration (NAV)
 	frame   *Frame
+	owner   *MAC
+	refs    int32
 }
+
+// Ref implements radio.Releasable.
+func (af *airFrame) Ref() { af.refs++ }
+
+// Unref implements radio.Releasable; the last reference releases the
+// underlying frame and recycles the air frame.
+func (af *airFrame) Unref() {
+	af.refs--
+	if af.refs != 0 {
+		return
+	}
+	if af.frame != nil {
+		af.frame.release()
+		af.frame = nil
+	}
+	af.owner.airPool.Put(af)
+}
+
+var _ radio.Releasable = (*airFrame)(nil)
 
 // Stats are per-interface MAC counters.
 type Stats struct {
@@ -130,19 +198,26 @@ type MAC struct {
 
 	awaitAckSeq uint32
 	awaitAck    bool
-	ackTimer    *sim.Event
+	ackTimer    sim.Timer
 
 	awaitCTS bool
-	ctsTimer *sim.Event
+	ctsTimer sim.Timer
 	navUntil time.Duration
 
 	lastSeq map[int]uint32 // receiver-side dedup: last data seq per source
 	promisc PromiscuousFunc
 
+	airPool runpool.Pool[airFrame] // recycled air frames, run-local
+
+	// Pre-bound timer callbacks so arming a timer allocates no method
+	// value.
+	ackTimeoutFn func()
+	ctsTimeoutFn func()
+
 	// down gates the interface for fault injection: a powered-off MAC
 	// neither transmits nor decodes. epoch invalidates scheduled
 	// continuations (backoff expiry, idle notification, broadcast
-	// completion) across a Reset: each captures the epoch at scheduling
+	// completion) across a Reset: each carries the epoch at scheduling
 	// time and becomes a no-op if the interface was power-cycled since.
 	down  bool
 	epoch uint32
@@ -162,6 +237,8 @@ func New(id int, s *sim.Simulator, medium *radio.Medium, cfg Config, src *rng.So
 		cw:      cfg.CWMin,
 		lastSeq: make(map[int]uint32),
 	}
+	m.ackTimeoutFn = m.ackTimeout
+	m.ctsTimeoutFn = m.ctsTimeout
 	medium.Attach(id, m.onRadio)
 	return m
 }
@@ -213,21 +290,22 @@ func (m *MAC) Down() bool { return m.down }
 // Reset models a power-cycle: the interface queue, any in-flight
 // exchange, backoff state, NAV, and the receiver's duplicate-suppression
 // memory are discarded, and every pending timer or scheduled continuation
-// is disarmed. Dropped frames invoke no OnSent/OnFail callbacks — the
-// state that would have handled them died with the node.
+// is disarmed. Dropped frames invoke no OnSent/OnFail/FrameSent/
+// FrameFailed callbacks — the state that would have handled them died
+// with the node — but their queue references are dropped so the frames
+// still reach FrameReleased (marked Failed) once the radio is done with
+// them.
 func (m *MAC) Reset() {
 	m.epoch++
-	if m.ackTimer != nil {
-		m.ackTimer.Cancel()
-		m.ackTimer = nil
-	}
-	if m.ctsTimer != nil {
-		m.ctsTimer.Cancel()
-		m.ctsTimer = nil
-	}
+	m.ackTimer.Cancel()
+	m.ackTimer = sim.Timer{}
+	m.ctsTimer.Cancel()
+	m.ctsTimer = sim.Timer{}
 	m.awaitAck = false
 	m.awaitCTS = false
-	for i := range m.queue {
+	for i, f := range m.queue {
+		f.Failed = true
+		f.release()
 		m.queue[i] = nil
 	}
 	m.queue = m.queue[:0]
@@ -239,18 +317,25 @@ func (m *MAC) Reset() {
 }
 
 // Send enqueues a frame for transmission. If the interface queue is full
-// the frame is dropped and OnFail (if set) is invoked immediately. A
+// the frame is dropped and its failure callback is invoked immediately. A
 // powered-off interface drops frames without callbacks.
 func (m *MAC) Send(f *Frame) {
+	f.refs++ // the queue slot's reference (or the drop path's)
 	if m.down {
 		m.stats.QueueDrops++
+		f.Failed = true
+		f.release()
 		return
 	}
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.stats.QueueDrops++
-		if f.OnFail != nil {
+		f.Failed = true
+		if f.Handler != nil {
+			f.Handler.FrameFailed(f)
+		} else if f.OnFail != nil {
 			f.OnFail()
 		}
+		f.release()
 		return
 	}
 	m.queue = append(m.queue, f)
@@ -269,43 +354,80 @@ func (m *MAC) kick() {
 	m.attempt()
 }
 
+// Package-level continuation callbacks for sim.ScheduleTransient: the
+// MAC pointer rides in arg and the power-cycle epoch in u, so scheduling
+// a retry, backoff expiry, or broadcast completion allocates nothing.
+
+// attemptTr resumes the carrier-sense cycle (NAV wait expiry).
+func attemptTr(arg any, u uint64) {
+	m := arg.(*MAC)
+	if uint64(m.epoch) == u {
+		m.attempt()
+	}
+}
+
+// backoffTr fires at backoff expiry: transmit if the channel stayed
+// clear, otherwise defer again.
+func backoffTr(arg any, u uint64) {
+	m := arg.(*MAC)
+	if uint64(m.epoch) != u {
+		return
+	}
+	if m.medium.Busy(m.id) || m.navUntil > m.sim.Now() {
+		// Channel was captured during our backoff; defer again.
+		m.attempt()
+		return
+	}
+	m.transmitHead()
+}
+
+// bcastDoneTr completes a broadcast once its airtime has elapsed.
+func bcastDoneTr(arg any, u uint64) {
+	m := arg.(*MAC)
+	if uint64(m.epoch) == u {
+		m.completeHead(true)
+	}
+}
+
+// txAirTr transmits a pooled air frame after an inter-frame space (ACK
+// and CTS responses), then drops the scheduling reference.
+func txAirTr(arg any, _ uint64) {
+	af := arg.(*airFrame)
+	m := af.owner
+	if !m.down {
+		m.medium.Transmit(m.id, af.bits, af)
+	}
+	af.Unref()
+}
+
+// ChannelIdle implements radio.IdleWaiter: the medium went idle at this
+// node; resume the pending carrier-sense cycle if the interface has not
+// been power-cycled since it registered.
+func (m *MAC) ChannelIdle(u uint64) {
+	if uint64(m.epoch) == u {
+		m.attempt()
+	}
+}
+
 // attempt performs one carrier-sense + backoff cycle for the head frame.
 // Both physical carrier sense and the NAV (when RTS/CTS is enabled) must
-// show the channel idle. Every continuation it schedules captures the
+// show the channel idle. Every continuation it schedules carries the
 // current epoch, so a Reset between scheduling and firing disarms it.
 func (m *MAC) attempt() {
 	if m.down || !m.inFlight || len(m.queue) == 0 {
 		return // interface reset or powered down since this retry was queued
 	}
-	ep := m.epoch
+	ep := uint64(m.epoch)
 	if m.medium.Busy(m.id) {
-		m.medium.NotifyIdle(m.id, func() {
-			if m.epoch == ep {
-				m.attempt()
-			}
-		})
+		m.medium.NotifyIdle(m.id, m, ep)
 		return
 	}
 	if wait := m.navUntil - m.sim.Now(); wait > 0 {
-		m.sim.Schedule(wait, func() {
-			if m.epoch == ep {
-				m.attempt()
-			}
-		})
+		m.sim.ScheduleTransient(wait, attemptTr, m, ep)
 		return
 	}
 	backoff := m.cfg.DIFS + time.Duration(m.rng.Intn(m.cw+1))*m.cfg.SlotTime
-	m.sim.Schedule(backoff, func() {
-		if m.epoch != ep {
-			return
-		}
-		if m.medium.Busy(m.id) || m.navUntil > m.sim.Now() {
-			// Channel was captured during our backoff; defer again.
-			m.attempt()
-			return
-		}
-		m.transmitHead()
-	})
+	m.sim.ScheduleTransient(backoff, backoffTr, m, ep)
 }
 
 func (m *MAC) transmitHead() {
@@ -322,6 +444,23 @@ func (m *MAC) useRTS(f *Frame) bool {
 	return m.cfg.RTSCTSEnabled && f.To != BroadcastAddr && f.Bytes >= m.cfg.RTSThreshold
 }
 
+// newAir draws an air frame from the pool, owned by this MAC with one
+// reference (the caller's).
+func (m *MAC) newAir(kind airKind, dst int, seq uint32, bits int) *airFrame {
+	af := m.airPool.Get()
+	af.kind = kind
+	af.src = m.id
+	af.dst = dst
+	af.seq = seq
+	af.retried = false
+	af.bits = bits
+	af.dur = 0
+	af.frame = nil
+	af.owner = m
+	af.refs = 1
+	return af
+}
+
 // sendRTS begins the RTS/CTS handshake for the head frame.
 func (m *MAC) sendRTS(f *Frame) {
 	dataAir := m.medium.AirTime((f.Bytes + m.cfg.HeaderBytes) * 8)
@@ -329,13 +468,15 @@ func (m *MAC) sendRTS(f *Frame) {
 	ackAir := m.medium.AirTime(m.cfg.AckBytes * 8)
 	// Duration field: everything after the RTS itself.
 	dur := m.cfg.SIFS + ctsAir + m.cfg.SIFS + dataAir + m.cfg.SIFS + ackAir
-	rts := &airFrame{kind: airRTS, src: m.id, dst: f.To, seq: m.seq, dur: dur}
-	rtsAir := m.medium.Transmit(m.id, m.cfg.RTSBytes*8, rts)
+	rts := m.newAir(airRTS, f.To, m.seq, m.cfg.RTSBytes*8)
+	rts.dur = dur
+	rtsAir := m.medium.Transmit(m.id, rts.bits, rts)
+	rts.Unref()
 	m.stats.RTSSent++
 
 	m.awaitCTS = true
 	timeout := rtsAir + m.cfg.SIFS + ctsAir + 4*m.cfg.SlotTime
-	m.ctsTimer = m.sim.Schedule(timeout, m.ctsTimeout)
+	m.ctsTimer = m.sim.Schedule(timeout, m.ctsTimeoutFn)
 }
 
 func (m *MAC) ctsTimeout() {
@@ -365,26 +506,17 @@ func (m *MAC) retryHead() {
 
 // transmitData puts the head frame's data on the air.
 func (m *MAC) transmitData(f *Frame) {
-	af := &airFrame{
-		kind:    airData,
-		src:     m.id,
-		dst:     f.To,
-		seq:     m.seq,
-		retried: m.retries > 0,
-		frame:   f,
-	}
-	bits := (f.Bytes + m.cfg.HeaderBytes) * 8
-	air := m.medium.Transmit(m.id, bits, af)
+	af := m.newAir(airData, f.To, m.seq, (f.Bytes+m.cfg.HeaderBytes)*8)
+	af.retried = m.retries > 0
+	af.frame = f
+	f.refs++ // the air frame reads f until its last reception ends
+	air := m.medium.Transmit(m.id, af.bits, af)
+	af.Unref()
 	m.stats.Sent++
 
 	if f.To == BroadcastAddr {
 		m.stats.Broadcast++
-		ep := m.epoch
-		m.sim.Schedule(air, func() {
-			if m.epoch == ep {
-				m.completeHead(true)
-			}
-		})
+		m.sim.ScheduleTransient(air, bcastDoneTr, m, uint64(m.epoch))
 		return
 	}
 
@@ -393,7 +525,7 @@ func (m *MAC) transmitData(f *Frame) {
 	m.awaitAckSeq = m.seq
 	ackAir := m.medium.AirTime(m.cfg.AckBytes * 8)
 	timeout := air + m.cfg.SIFS + ackAir + 4*m.cfg.SlotTime
-	m.ackTimer = m.sim.Schedule(timeout, m.ackTimeout)
+	m.ackTimer = m.sim.Schedule(timeout, m.ackTimeoutFn)
 }
 
 func (m *MAC) ackTimeout() {
@@ -405,18 +537,31 @@ func (m *MAC) ackTimeout() {
 }
 
 // completeHead finishes the head-of-line frame and moves to the next.
+// The queue is shift-drained (copy down, shrink from the tail) rather
+// than head-sliced so the backing array is reused forever: a steady
+// stream of sends stays allocation-free instead of reallocating a
+// one-slot array per frame.
 func (m *MAC) completeHead(ok bool) {
 	f := m.queue[0]
-	m.queue[0] = nil
-	m.queue = m.queue[1:]
+	n := copy(m.queue, m.queue[1:])
+	m.queue[n] = nil
+	m.queue = m.queue[:n]
 	m.inFlight = false
 	if ok {
-		if f.OnSent != nil {
+		if f.Handler != nil {
+			f.Handler.FrameSent(f)
+		} else if f.OnSent != nil {
 			f.OnSent()
 		}
-	} else if f.OnFail != nil {
-		f.OnFail()
+	} else {
+		f.Failed = true
+		if f.Handler != nil {
+			f.Handler.FrameFailed(f)
+		} else if f.OnFail != nil {
+			f.OnFail()
+		}
 	}
+	f.release()
 	m.kick()
 }
 
@@ -433,22 +578,16 @@ func (m *MAC) onRadio(from int, payload any) {
 		if af.dst == m.id {
 			// Answer with CTS after SIFS; the CTS re-advertises the
 			// remaining duration for third parties.
-			remaining := af.dur
-			cts := &airFrame{kind: airCTS, src: m.id, dst: af.src, seq: af.seq, dur: remaining}
-			m.sim.Schedule(m.cfg.SIFS, func() {
-				if !m.down {
-					m.medium.Transmit(m.id, m.cfg.CTSBytes*8, cts)
-				}
-			})
+			cts := m.newAir(airCTS, af.src, af.seq, m.cfg.CTSBytes*8)
+			cts.dur = af.dur
+			m.sim.ScheduleTransient(m.cfg.SIFS, txAirTr, cts, 0)
 			return
 		}
 		m.setNAV(af.dur)
 	case airCTS:
 		if af.dst == m.id && m.awaitCTS {
 			m.awaitCTS = false
-			if m.ctsTimer != nil {
-				m.ctsTimer.Cancel()
-			}
+			m.ctsTimer.Cancel()
 			f := m.queue[0]
 			ep := m.epoch
 			m.sim.Schedule(m.cfg.SIFS, func() {
@@ -462,9 +601,7 @@ func (m *MAC) onRadio(from int, payload any) {
 	case airAck:
 		if af.dst == m.id && m.awaitAck && af.seq == m.awaitAckSeq {
 			m.awaitAck = false
-			if m.ackTimer != nil {
-				m.ackTimer.Cancel()
-			}
+			m.ackTimer.Cancel()
 			m.stats.Acked++
 			m.completeHead(true)
 		}
@@ -502,10 +639,6 @@ func (m *MAC) setNAV(dur time.Duration) {
 }
 
 func (m *MAC) sendAck(af *airFrame) {
-	ack := &airFrame{kind: airAck, src: m.id, dst: af.src, seq: af.seq}
-	m.sim.Schedule(m.cfg.SIFS, func() {
-		if !m.down {
-			m.medium.Transmit(m.id, m.cfg.AckBytes*8, ack)
-		}
-	})
+	ack := m.newAir(airAck, af.src, af.seq, m.cfg.AckBytes*8)
+	m.sim.ScheduleTransient(m.cfg.SIFS, txAirTr, ack, 0)
 }

@@ -23,6 +23,7 @@ import (
 
 	"github.com/manetlab/ldr/internal/metrics"
 	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/runpool"
 	"github.com/manetlab/ldr/internal/sim"
 )
 
@@ -78,8 +79,10 @@ type Hello struct {
 // Kind implements routing.Message.
 func (Hello) Kind() metrics.ControlKind { return metrics.Hello }
 
-// Size implements routing.Message.
-func (h Hello) Size() int { return len(h.Marshal()) }
+// Size implements routing.Message: computed arithmetically from the wire
+// layout so the periodic send path does not marshal; the wire round-trip
+// tests pin it to len(Marshal()).
+func (h Hello) Size() int { return helloWireBase + helloWirePerNbr*len(h.Neighbors) }
 
 // TC advertises the origin's MPR selector set; flooded via MPRs.
 type TC struct {
@@ -94,7 +97,16 @@ type TC struct {
 func (TC) Kind() metrics.ControlKind { return metrics.TC }
 
 // Size implements routing.Message.
-func (t TC) Size() int { return len(t.Marshal()) }
+func (t TC) Size() int { return tcWireBase + tcWirePerSel*len(t.Selectors) }
+
+// Wire sizes of the fixed-layout prefixes (type byte and entry-count
+// fields included); pinned against Marshal by the wire round-trip tests.
+const (
+	helloWireBase   = 1 + 4 + 2
+	helloWirePerNbr = 4 + 1
+	tcWireBase      = 1 + 4 + 2 + 2 + 1 + 2
+	tcWirePerSel    = 4
+)
 
 type linkState struct {
 	symmetric bool
@@ -129,18 +141,25 @@ type OLSR struct {
 	dirty      bool
 	ansn       uint16
 	msgSeq     uint16
-	helloTimer *sim.Event
-	tcTimer    *sim.Event
-	sweeper    *sim.Event
+	helloTimer sim.Timer
+	tcTimer    sim.Timer
+	sweeper    sim.Timer
 	queue      *jitterQueue
 	stopped    bool
+
+	// Run-local message pools: wire messages are pooled pointers recycled
+	// by the sending node once the MAC releases the frame.
+	helloPool runpool.Pool[Hello]
+	tcPool    runpool.Pool[TC]
 }
 
 var (
-	_ routing.Protocol         = (*OLSR)(nil)
-	_ routing.TableSnapshotter = (*OLSR)(nil)
-	_ routing.TableAppender    = (*OLSR)(nil)
-	_ routing.Resetter         = (*OLSR)(nil)
+	_ routing.Protocol           = (*OLSR)(nil)
+	_ routing.TableSnapshotter   = (*OLSR)(nil)
+	_ routing.TableAppender      = (*OLSR)(nil)
+	_ routing.Resetter           = (*OLSR)(nil)
+	_ routing.DataFailureHandler = (*OLSR)(nil)
+	_ routing.MessageRecycler    = (*OLSR)(nil)
 )
 
 // New builds an OLSR instance bound to a node.
@@ -173,11 +192,9 @@ func (o *OLSR) Start() {
 // Stop implements routing.Protocol.
 func (o *OLSR) Stop() {
 	o.stopped = true
-	for _, t := range []*sim.Event{o.helloTimer, o.tcTimer, o.sweeper} {
-		if t != nil {
-			t.Cancel()
-		}
-	}
+	o.helloTimer.Cancel()
+	o.tcTimer.Cancel()
+	o.sweeper.Cancel()
 }
 
 // Reset implements routing.Resetter: a crash clears the entire link-state
@@ -188,12 +205,10 @@ func (o *OLSR) Stop() {
 // would make neighbors' duplicate and topology tables discard the
 // rebooted node's fresh messages as stale for a full holding time.
 func (o *OLSR) Reset() {
-	for _, t := range []*sim.Event{o.helloTimer, o.tcTimer, o.sweeper} {
-		if t != nil {
-			t.Cancel()
-		}
-	}
-	o.helloTimer, o.tcTimer, o.sweeper = nil, nil, nil
+	o.helloTimer.Cancel()
+	o.tcTimer.Cancel()
+	o.sweeper.Cancel()
+	o.helloTimer, o.tcTimer, o.sweeper = sim.Timer{}, sim.Timer{}, sim.Timer{}
 	clear(o.links)
 	clear(o.twoHop)
 	clear(o.selectors)
@@ -222,7 +237,9 @@ func (o *OLSR) sendHello() {
 		return
 	}
 	o.recomputeMPRs()
-	h := Hello{Origin: o.node.ID()}
+	h := o.helloPool.Get()
+	neighbors := h.Neighbors
+	*h = Hello{Origin: o.node.ID(), Neighbors: neighbors[:0]}
 	for id, l := range o.links {
 		code := LinkAsym
 		switch {
@@ -245,11 +262,14 @@ func (o *OLSR) sendTC() {
 	}
 	if len(o.selectors) > 0 {
 		o.msgSeq++
-		tc := TC{
-			Origin: o.node.ID(),
-			Seq:    o.msgSeq,
-			ANSN:   o.ansn,
-			TTL:    o.cfg.NetDiameter,
+		tc := o.tcPool.Get()
+		selectors := tc.Selectors
+		*tc = TC{
+			Origin:    o.node.ID(),
+			Seq:       o.msgSeq,
+			ANSN:      o.ansn,
+			TTL:       o.cfg.NetDiameter,
+			Selectors: selectors[:0],
 		}
 		for id := range o.selectors {
 			tc.Selectors = append(tc.Selectors, id)
@@ -318,9 +338,16 @@ func (o *OLSR) HandleControl(from routing.NodeID, msg routing.Message) {
 	if o.stopped {
 		return
 	}
+	// The wire path delivers pooled pointer messages (read-only, valid
+	// only during the call); tests and the adversary layer may still hand
+	// in plain values.
 	switch m := msg.(type) {
+	case *Hello:
+		o.handleHello(from, *m)
 	case Hello:
 		o.handleHello(from, m)
+	case *TC:
+		o.handleTC(from, *m)
 	case TC:
 		o.handleTC(from, m)
 	}
@@ -444,9 +471,27 @@ func (o *OLSR) handleTC(from routing.NodeID, tc TC) {
 	if _, selected := o.selectors[from]; !selected {
 		return
 	}
-	fwd := tc
+	// The incoming tc's Selectors alias the sender's pooled message, which
+	// is recycled once its frame completes; the jitter queue outlives that,
+	// so the relayed copy must own its selector list.
+	fwd := o.tcPool.Get()
+	selectors := fwd.Selectors
+	*fwd = tc
+	fwd.Selectors = append(selectors[:0], tc.Selectors...)
 	fwd.TTL--
 	o.queue.pushForward(fwd)
+}
+
+// RecycleMessage implements routing.MessageRecycler.
+func (o *OLSR) RecycleMessage(msg routing.Message) {
+	switch m := msg.(type) {
+	case *Hello:
+		m.Neighbors = m.Neighbors[:0]
+		o.helloPool.Put(m)
+	case *TC:
+		m.Selectors = m.Selectors[:0]
+		o.tcPool.Put(m)
+	}
 }
 
 // sortNodeIDs sorts in place; wire formats and BFS expansion use it so no
@@ -633,21 +678,33 @@ func (o *OLSR) forward(pkt *routing.DataPacket) {
 		o.node.DropData(pkt, routing.DropNoRoute)
 		return
 	}
-	o.node.SendData(next, pkt, nil, func() { o.linkFailure(next, pkt) })
+	o.node.SendData(next, pkt)
+}
+
+// DataFailed implements routing.DataFailureHandler. Retried distinguishes
+// the two failure stages that used to be chained closures: a first failure
+// runs route maintenance, a failure of the retry drops the packet.
+func (o *OLSR) DataFailed(next routing.NodeID, pkt *routing.DataPacket) {
+	if pkt.Retried {
+		o.node.DropData(pkt, routing.DropLinkBreak)
+		return
+	}
+	if o.stopped {
+		return
+	}
+	o.linkFailure(next, pkt)
 }
 
 // linkFailure drops the link immediately rather than waiting out the
 // HELLO hold time, then retries the packet once over a recomputed table.
 func (o *OLSR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
-	if o.stopped {
-		return
-	}
 	delete(o.links, next)
 	delete(o.twoHop, next)
 	o.dirty = true
 	o.recompute()
 	if alt, ok := o.routes[pkt.Dst]; ok && alt != next {
-		o.node.SendData(alt, pkt, nil, func() { o.node.DropData(pkt, routing.DropLinkBreak) })
+		pkt.Retried = true
+		o.node.SendData(alt, pkt)
 		return
 	}
 	o.node.DropData(pkt, routing.DropLinkBreak)
@@ -740,6 +797,7 @@ func (q *jitterQueue) kick() {
 func (q *jitterQueue) reset() {
 	for i, msg := range q.queue {
 		q.o.node.Metrics().CountControlDrop(msg.Kind())
+		q.o.RecycleMessage(msg)
 		q.queue[i] = nil
 	}
 	q.queue = q.queue[:0]

@@ -152,11 +152,15 @@ func (m *Medium) deliverFaulty(f *faults, rc *reception) {
 		key := f.pendSeq
 		f.pendSeq++
 		f.pending[key] = payload
+		// The deferred delivery outlives the reception, so it holds its own
+		// payload reference until the hand-off fires.
+		ref(payload)
 		m.sim.Schedule(delay, func() {
 			delete(f.pending, key)
 			if rx := m.nodes[dst].rx; rx != nil {
 				rx(from, payload)
 			}
+			unref(payload)
 		})
 	}
 }

@@ -60,6 +60,46 @@ func DefaultConfig() Config {
 // uncorrupted frame that arrives within decodable range.
 type ReceiverFunc func(from int, payload any)
 
+// Releasable is implemented by payloads whose lifetime is reference
+// counted (pooled MAC air frames). The medium takes a reference for every
+// reception it creates and for every delivery the fault hook defers, and
+// drops it when the reception ends (or the deferred delivery fires), so a
+// pooled payload is never recycled while the radio can still read it.
+// Payloads that do not implement Releasable are managed by the garbage
+// collector as before.
+type Releasable interface {
+	Ref()
+	Unref()
+}
+
+// ref takes a reference on a refcounted payload; a no-op otherwise.
+func ref(payload any) {
+	if r, ok := payload.(Releasable); ok {
+		r.Ref()
+	}
+}
+
+// unref drops a reference on a refcounted payload; a no-op otherwise.
+func unref(payload any) {
+	if r, ok := payload.(Releasable); ok {
+		r.Unref()
+	}
+}
+
+// IdleWaiter is the channel-idle callback target: w.ChannelIdle(u) runs
+// the next moment the channel at the registered node goes idle. The
+// scalar u is carried through untouched (the MAC passes its power-cycle
+// epoch), so waiters need no per-wait closure state.
+type IdleWaiter interface {
+	ChannelIdle(u uint64)
+}
+
+// idleWait is one registered channel-idle callback.
+type idleWait struct {
+	w IdleWaiter
+	u uint64
+}
+
 // Medium is the shared channel connecting every node's radio.
 type Medium struct {
 	sim   *sim.Simulator
@@ -83,9 +123,9 @@ type Medium struct {
 	rcFree []*reception // reception free list
 
 	// Pre-bound event callbacks, so the hot path schedules no closures.
-	startFn func(any)
-	endFn   func(any)
-	idleFn  func(any)
+	startFn func(any, uint64)
+	endFn   func(any, uint64)
+	idleFn  func(any, uint64)
 
 	// flt holds the fault-injection hooks (see fault.go); nil while no
 	// fault has ever been installed, which keeps the fault-free hot path
@@ -105,7 +145,12 @@ type nodeState struct {
 	signals int           // overlapping signals currently sensed
 	txUntil time.Duration // end of this node's own transmission
 	active  []*reception  // decodable receptions currently in the air here
-	onIdle  []func()      // one-shot callbacks for channel-idle
+
+	// onIdle holds one-shot channel-idle waiters; idleSpare is the
+	// detached buffer from the previous checkIdle, kept so the two swap
+	// roles and neither list ever reallocates in steady state.
+	onIdle    []idleWait
+	idleSpare []idleWait
 }
 
 type reception struct {
@@ -144,7 +189,7 @@ func New(s *sim.Simulator, model mobility.Model, cfg Config) *Medium {
 	}
 	m.startFn = m.signalStart
 	m.endFn = m.signalEnd
-	m.idleFn = func(arg any) { m.checkIdle(arg.(int)) }
+	m.idleFn = m.idleAt
 	return m
 }
 
@@ -195,17 +240,25 @@ func (m *Medium) Busy(id int) bool {
 	return st.signals > 0 || st.txUntil > m.sim.Now()
 }
 
-// NotifyIdle registers a one-shot callback invoked the next moment node
-// id's channel becomes idle. If the channel is already idle the callback
-// runs in a zero-delay event.
-func (m *Medium) NotifyIdle(id int, fn func()) {
+// NotifyIdle registers a one-shot waiter invoked (as w.ChannelIdle(u))
+// the next moment node id's channel becomes idle. If the channel is
+// already idle the callback runs in a zero-delay event.
+func (m *Medium) NotifyIdle(id int, w IdleWaiter, u uint64) {
 	if !m.Busy(id) {
-		m.sim.Schedule(0, fn)
+		m.sim.ScheduleTransient(0, idleNowFn, w, u)
 		return
 	}
 	st := &m.nodes[id]
-	st.onIdle = append(st.onIdle, fn)
+	st.onIdle = append(st.onIdle, idleWait{w: w, u: u})
 }
+
+// idleNowFn fires an already-idle NotifyIdle registration; package-level
+// so scheduling it allocates no closure.
+func idleNowFn(arg any, u uint64) { arg.(IdleWaiter).ChannelIdle(u) }
+
+// idleAt is the pre-bound transient callback for the sender's own
+// end-of-transmission idle check; the node index travels in u unboxed.
+func (m *Medium) idleAt(_ any, u uint64) { m.checkIdle(int(u)) }
 
 // AirTime returns how long a frame of the given size occupies the channel.
 func (m *Medium) AirTime(bits int) time.Duration {
@@ -247,7 +300,7 @@ func (m *Medium) Transmit(src, bits int, payload any) time.Duration {
 			m.Corrupted++
 		}
 	}
-	m.sim.ScheduleTransient(air, m.idleFn, src)
+	m.sim.ScheduleTransient(air, m.idleFn, nil, uint64(src))
 
 	m.maybeRefresh()
 	srcPos := m.position(src)
@@ -266,13 +319,14 @@ func (m *Medium) Transmit(src, bits int, payload any) time.Duration {
 			continue
 		}
 		rc := m.newReception(src, i, d <= m.cfg.Range, payload)
-		m.sim.ScheduleTransient(m.cfg.PropDelay, m.startFn, rc)
-		m.sim.ScheduleTransient(m.cfg.PropDelay+air, m.endFn, rc)
+		ref(payload) // the reception reads the payload until it ends
+		m.sim.ScheduleTransient(m.cfg.PropDelay, m.startFn, rc, 0)
+		m.sim.ScheduleTransient(m.cfg.PropDelay+air, m.endFn, rc, 0)
 	}
 	return air
 }
 
-func (m *Medium) signalStart(arg any) {
+func (m *Medium) signalStart(arg any, _ uint64) {
 	rc := arg.(*reception)
 	st := &m.nodes[rc.dst]
 	st.signals++
@@ -295,7 +349,7 @@ func (m *Medium) signalStart(arg any) {
 	}
 }
 
-func (m *Medium) signalEnd(arg any) {
+func (m *Medium) signalEnd(arg any, _ uint64) {
 	rc := arg.(*reception)
 	st := &m.nodes[rc.dst]
 	st.signals--
@@ -316,7 +370,8 @@ func (m *Medium) signalEnd(arg any) {
 	}
 	m.checkIdle(int(rc.dst))
 	// The reception's start and end have both fired and it is off every
-	// active list: recycle it.
+	// active list: drop its payload reference and recycle it.
+	unref(rc.payload)
 	rc.payload = nil
 	m.rcFree = append(m.rcFree, rc)
 }
@@ -329,11 +384,16 @@ func (m *Medium) checkIdle(id int) {
 	if len(st.onIdle) == 0 {
 		return
 	}
+	// Detach before invoking — a waiter may re-register during the loop —
+	// and keep the detached buffer as the next registration list, so the
+	// two buffers alternate and neither ever reallocates once warm.
 	cbs := st.onIdle
-	st.onIdle = nil
-	for _, fn := range cbs {
-		fn()
+	st.onIdle = st.idleSpare[:0]
+	for i, w := range cbs {
+		cbs[i] = idleWait{}
+		w.w.ChannelIdle(w.u)
 	}
+	st.idleSpare = cbs[:0]
 }
 
 // InRange reports whether two nodes are currently within decodable range,

@@ -141,6 +141,11 @@ func TestBusyDuringTransmission(t *testing.T) {
 	r.s.RunAll()
 }
 
+// idleFunc adapts a func to the IdleWaiter interface for tests.
+type idleFunc func(u uint64)
+
+func (f idleFunc) ChannelIdle(u uint64) { f(u) }
+
 func TestNotifyIdleFiresWhenChannelClears(t *testing.T) {
 	r := newRig([]mobility.Point{{X: 0}, {X: 200}})
 	var idleAt time.Duration
@@ -150,7 +155,7 @@ func TestNotifyIdleFiresWhenChannelClears(t *testing.T) {
 		if !r.m.Busy(1) {
 			t.Error("channel not busy 10µs into a 1ms frame")
 		}
-		r.m.NotifyIdle(1, func() { idleAt = r.s.Now() })
+		r.m.NotifyIdle(1, idleFunc(func(uint64) { idleAt = r.s.Now() }), 0)
 	})
 	r.s.RunAll()
 
@@ -163,10 +168,14 @@ func TestNotifyIdleFiresWhenChannelClears(t *testing.T) {
 func TestNotifyIdleImmediateWhenIdle(t *testing.T) {
 	r := newRig([]mobility.Point{{X: 0}, {X: 200}})
 	fired := false
-	r.m.NotifyIdle(0, func() { fired = true })
+	seen := uint64(0)
+	r.m.NotifyIdle(0, idleFunc(func(u uint64) { fired = true; seen = u }), 7)
 	r.s.RunAll()
 	if !fired {
 		t.Fatal("NotifyIdle on an idle channel never fired")
+	}
+	if seen != 7 {
+		t.Fatalf("idle callback saw u=%d, want the registered scalar 7", seen)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/manetlab/ldr/internal/mobility"
 	"github.com/manetlab/ldr/internal/radio"
 	"github.com/manetlab/ldr/internal/rng"
+	"github.com/manetlab/ldr/internal/runpool"
 	"github.com/manetlab/ldr/internal/sim"
 )
 
@@ -26,6 +27,15 @@ const BroadcastID NodeID = NodeID(mac.BroadcastAddr)
 const DefaultTTL = 64
 
 // DataPacket is a network-layer data packet.
+//
+// Ownership: a packet handed to a protocol (Originate, HandleData) is
+// owned by that protocol until it reaches exactly one terminal call —
+// DeliverLocal, DropData, or a successful SendData hand-off (the MAC
+// acknowledging the frame consumes the sender's ownership). A failed
+// SendData returns ownership through DataFailed, where the protocol must
+// again retry, drop, or buffer it. Packets the node layer created come
+// from a per-node free list and are recycled once every reference is
+// released; violating the single-terminal-call rule corrupts the pool.
 type DataPacket struct {
 	Src, Dst NodeID
 	ID       uint64        // unique per origin node
@@ -37,10 +47,28 @@ type DataPacket struct {
 	SourceRoute []NodeID // full path including Src and Dst
 	SRIndex     int      // index of the current hop in SourceRoute
 	Salvaged    int      // number of times the packet has been salvaged
+
+	// Retried marks a packet already re-sent once after a link failure at
+	// this hop; protocols with a single-retry policy (OLSR) use it to drop
+	// on the second failure. Cleared on every hop (the receiving node's
+	// copy starts fresh).
+	Retried bool
+
+	// Pool bookkeeping, maintained by the owning Node. refs counts
+	// outstanding ownership references (protocol holder + one per MAC
+	// frame the packet sits in); pooled distinguishes free-list packets
+	// from externally constructed ones, which are never recycled.
+	refs   int32
+	pooled bool
 }
 
 // Message is a protocol control message. Size is the on-air size in bytes
 // and Kind classifies the message for load accounting.
+//
+// A received message (HandleControl, promiscuous taps) is shared with
+// every other receiver of the broadcast and with the sender's pool: it is
+// read-only and must not be retained past the call. Protocols that relay
+// a message re-send a fresh copy.
 type Message interface {
 	Kind() metrics.ControlKind
 	Size() int
@@ -54,12 +82,31 @@ type Protocol interface {
 	// HandleControl processes a received control message.
 	HandleControl(from NodeID, msg Message)
 	// HandleData processes a received data packet (addressed to this node
-	// at the link layer; may be destined here or need forwarding).
+	// at the link layer; may be destined here or need forwarding). The
+	// protocol takes ownership of pkt (see DataPacket).
 	HandleData(from NodeID, pkt *DataPacket)
-	// Originate injects a locally generated data packet.
+	// Originate injects a locally generated data packet. The protocol
+	// takes ownership of pkt.
 	Originate(pkt *DataPacket)
 	// Stop cancels timers; the protocol must not schedule further events.
 	Stop()
+}
+
+// DataFailureHandler is implemented by protocols that react to the MAC
+// exhausting its retries on a unicast data frame (link breakage). The
+// failed packet's ownership returns to the protocol, which must retry,
+// buffer, or drop it. Protocols that do not implement the interface
+// silently lose failed packets (acceptable only in tests).
+type DataFailureHandler interface {
+	DataFailed(next NodeID, pkt *DataPacket)
+}
+
+// MessageRecycler is implemented by protocols that draw their control
+// messages from free lists. The node layer hands a message back exactly
+// once, after its MAC frame is fully released (transmitted or failed,
+// all receptions completed); the protocol may then reuse the object.
+type MessageRecycler interface {
+	RecycleMessage(msg Message)
 }
 
 // RouteEntry is a normalized view of one routing-table row, used by the
@@ -102,7 +149,10 @@ type Resetter interface {
 
 // Node is the network layer of one simulated node. It owns the MAC, routes
 // control and data packets to the protocol, and feeds the metrics
-// collector.
+// collector. It implements mac.FrameHandler: send outcomes and frame
+// releases come back through FrameSent/FrameFailed/FrameReleased, which
+// lets frames, their netFrame payloads, and data packets live on per-node
+// free lists instead of being reallocated per transmission.
 type Node struct {
 	id     NodeID
 	sim    *sim.Simulator
@@ -112,14 +162,33 @@ type Node struct {
 	proto  Protocol
 	tracer Tracer
 
+	// Interface views of proto, resolved once at SetProtocol so the hot
+	// paths skip the type assertions.
+	dataFail DataFailureHandler
+	recycler MessageRecycler
+
 	nextPktID uint64
 	down      bool
+
+	// Run-local free lists (see internal/runpool): frames and their
+	// netFrame payloads cycle through the MAC; packets cycle through
+	// originate/forward/deliver. Nothing here is shared across nodes or
+	// goroutines.
+	framePool runpool.Pool[mac.Frame]
+	nfPool    runpool.Pool[netFrame]
+	pktPool   runpool.Pool[DataPacket]
 }
 
-// netFrame is the payload the network layer puts in MAC frames.
+var _ mac.FrameHandler = (*Node)(nil)
+
+// netFrame is the payload the network layer puts in MAC frames. Exactly
+// one of data/msg is set. onFail carries the control-frame failure
+// callback (rare, cold path); data-frame failures dispatch through the
+// protocol's DataFailureHandler instead.
 type netFrame struct {
-	data *DataPacket
-	msg  Message
+	data   *DataPacket
+	msg    Message
+	onFail func()
 }
 
 // NewNode wires a node's network layer to a fresh MAC on the medium.
@@ -135,7 +204,11 @@ func NewNode(id NodeID, s *sim.Simulator, medium *radio.Medium, macCfg mac.Confi
 }
 
 // SetProtocol binds the routing protocol. Must be called before Start.
-func (n *Node) SetProtocol(p Protocol) { n.proto = p }
+func (n *Node) SetProtocol(p Protocol) {
+	n.proto = p
+	n.dataFail, _ = p.(DataFailureHandler)
+	n.recycler, _ = p.(MessageRecycler)
+}
 
 // Protocol returns the bound protocol.
 func (n *Node) Protocol() Protocol { return n.proto }
@@ -147,7 +220,7 @@ func (n *Node) ID() NodeID { return n.id }
 func (n *Node) Now() time.Duration { return n.sim.Now() }
 
 // Schedule runs fn after delay of virtual time.
-func (n *Node) Schedule(delay time.Duration, fn func()) *sim.Event {
+func (n *Node) Schedule(delay time.Duration, fn func()) sim.Timer {
 	return n.sim.Schedule(delay, fn)
 }
 
@@ -171,13 +244,60 @@ func (n *Node) SetDown(down bool) {
 // Down reports whether the node is powered off.
 func (n *Node) Down() bool { return n.down }
 
+// newFrame pulls a frame and its netFrame payload from the free lists,
+// reset and wired to this node's handler.
+func (n *Node) newFrame() (*mac.Frame, *netFrame) {
+	f := n.framePool.Get()
+	nf := n.nfPool.Get()
+	*nf = netFrame{}
+	*f = mac.Frame{Payload: nf, Handler: n}
+	return f, nf
+}
+
+// newPacket pulls a packet from the free list, zeroed except for the
+// retained SourceRoute capacity, owned by the caller (refs=1).
+func (n *Node) newPacket() *DataPacket {
+	pkt := n.pktPool.Get()
+	sr := pkt.SourceRoute
+	*pkt = DataPacket{SourceRoute: sr[:0], refs: 1, pooled: true}
+	return pkt
+}
+
+// copyPacket clones src into a fresh pooled packet for a receiver (or
+// promiscuous tap): every broadcast receiver must get its own copy, since
+// mutating shared state (TTL, source-route index) would corrupt the other
+// receivers. The clone starts a new ownership chain at this hop.
+func (n *Node) copyPacket(src *DataPacket) *DataPacket {
+	cp := n.pktPool.Get()
+	sr := cp.SourceRoute
+	*cp = *src
+	cp.SourceRoute = append(sr[:0], src.SourceRoute...)
+	cp.Retried = false
+	cp.refs = 1
+	cp.pooled = true
+	return cp
+}
+
+// releasePacket drops one ownership reference; the last release returns
+// the packet to the free list. Externally constructed packets (tests)
+// are never recycled.
+func (n *Node) releasePacket(pkt *DataPacket) {
+	if !pkt.pooled {
+		return
+	}
+	if pkt.refs--; pkt.refs == 0 {
+		n.pktPool.Put(pkt)
+	}
+}
+
 // PromiscuousFunc receives overheard traffic: frames addressed to other
 // nodes that this node's radio decoded anyway. Exactly one of data/msg is
 // non-nil per call.
 type PromiscuousFunc func(from NodeID, data *DataPacket, msg Message)
 
 // SetPromiscuous installs an overhearing tap (nil disables). The overheard
-// packet is this node's own copy; mutating it is safe.
+// packet is this node's own copy; mutating it is safe, but it is only
+// valid for the duration of the call — the node reclaims it afterwards.
 func (n *Node) SetPromiscuous(fn PromiscuousFunc) {
 	if fn == nil {
 		n.mac.SetPromiscuous(nil)
@@ -192,11 +312,9 @@ func (n *Node) SetPromiscuous(fn PromiscuousFunc) {
 		case nf.msg != nil:
 			fn(NodeID(from), nil, nf.msg)
 		case nf.data != nil:
-			cp := *nf.data
-			if len(nf.data.SourceRoute) > 0 {
-				cp.SourceRoute = append([]NodeID(nil), nf.data.SourceRoute...)
-			}
-			fn(NodeID(from), &cp, nil)
+			cp := n.copyPacket(nf.data)
+			fn(NodeID(from), cp, nil)
+			n.releasePacket(cp)
 		}
 	})
 }
@@ -204,44 +322,99 @@ func (n *Node) SetPromiscuous(fn PromiscuousFunc) {
 // SendControl transmits a control message. to may be BroadcastID. The
 // message is counted as one hop-wise control transmission; callers count
 // initiations themselves via the collector. onFail, which may be nil, is
-// invoked if a unicast transmission exhausts its MAC retries.
+// invoked if a unicast transmission exhausts its MAC retries. The message
+// belongs to the frame until the node layer recycles it (see
+// MessageRecycler); callers must not reuse the same message object in a
+// second SendControl call.
 func (n *Node) SendControl(to NodeID, msg Message, onFail func()) {
 	n.col.CountControlTransmit(msg.Kind())
-	n.mac.Send(&mac.Frame{
-		To:      int(to),
-		Bytes:   msg.Size(),
-		Payload: &netFrame{msg: msg},
-		OnFail:  onFail,
-	})
+	f, nf := n.newFrame()
+	nf.msg = msg
+	nf.onFail = onFail
+	f.To = int(to)
+	f.Bytes = msg.Size()
+	n.mac.Send(f)
 }
 
-// SendData transmits a data packet to the next hop. onFail, which may be
-// nil, is invoked when the MAC gives up on the unicast; onSent when the
-// frame is acknowledged.
-func (n *Node) SendData(next NodeID, pkt *DataPacket, onSent, onFail func()) {
+// SendData transmits a data packet to the next hop. A successful hand-off
+// (MAC acknowledgment, or broadcast completion) consumes the caller's
+// ownership of pkt; when the MAC exhausts its retries, ownership returns
+// to the protocol through DataFailed.
+func (n *Node) SendData(next NodeID, pkt *DataPacket) {
 	n.col.DataTransmitted++
 	n.trace(TraceForward, pkt, next, 0)
-	n.mac.Send(&mac.Frame{
-		To:      int(next),
-		Bytes:   pkt.Bytes + dataHeaderBytes(pkt),
-		Payload: &netFrame{data: pkt},
-		OnSent:  onSent,
-		OnFail:  onFail,
-	})
+	if pkt.pooled {
+		pkt.refs++ // the frame's reference, released with the frame
+	}
+	f, nf := n.newFrame()
+	nf.data = pkt
+	f.To = int(next)
+	f.Bytes = pkt.Bytes + dataHeaderBytes(pkt)
+	n.mac.Send(f)
+}
+
+// FrameSent implements mac.FrameHandler. Hand-off bookkeeping happens in
+// FrameReleased, once receptions have drained too.
+func (n *Node) FrameSent(f *mac.Frame) {}
+
+// FrameFailed implements mac.FrameHandler: the MAC gave up on a unicast.
+// Data-packet ownership returns to the protocol; control frames invoke
+// their stashed onFail callback.
+func (n *Node) FrameFailed(f *mac.Frame) {
+	nf, ok := f.Payload.(*netFrame)
+	if !ok {
+		return
+	}
+	switch {
+	case nf.data != nil:
+		if n.dataFail != nil {
+			n.dataFail.DataFailed(NodeID(f.To), nf.data)
+		}
+	case nf.onFail != nil:
+		nf.onFail()
+	}
+}
+
+// FrameReleased implements mac.FrameHandler: the frame's last reference
+// (queue slot and every in-flight transmission) is gone, so the frame,
+// its netFrame, and — for successful data hand-offs — the sender's packet
+// reference can all be reclaimed.
+func (n *Node) FrameReleased(f *mac.Frame) {
+	nf, ok := f.Payload.(*netFrame)
+	if !ok {
+		return
+	}
+	if nf.data != nil {
+		if !f.Failed {
+			// Successful hand-off: the next hop (or broadcast receivers)
+			// copied the packet, so the sender's ownership ends here.
+			n.releasePacket(nf.data)
+		}
+		n.releasePacket(nf.data) // the frame's own reference
+	} else if nf.msg != nil && n.recycler != nil {
+		n.recycler.RecycleMessage(nf.msg)
+	}
+	*nf = netFrame{}
+	n.nfPool.Put(nf)
+	f.Payload = nil
+	f.Handler = nil
+	f.OnSent = nil
+	f.OnFail = nil
+	f.Failed = false
+	n.framePool.Put(f)
 }
 
 // OriginateData creates a data packet at this node and hands it to the
 // protocol. It is the entry point used by the traffic generator.
 func (n *Node) OriginateData(dst NodeID, bytes int) {
 	n.nextPktID++
-	pkt := &DataPacket{
-		Src:    n.id,
-		Dst:    dst,
-		ID:     n.nextPktID,
-		Bytes:  bytes,
-		TTL:    DefaultTTL,
-		SentAt: n.sim.Now(),
-	}
+	pkt := n.newPacket()
+	pkt.Src = n.id
+	pkt.Dst = dst
+	pkt.ID = n.nextPktID
+	pkt.Bytes = bytes
+	pkt.TTL = DefaultTTL
+	pkt.SentAt = n.sim.Now()
 	n.col.NoteInitiated(int(pkt.Src), pkt.ID)
 	n.trace(TraceOriginate, pkt, BroadcastID, 0)
 	if n.down {
@@ -255,32 +428,34 @@ func (n *Node) OriginateData(dst NodeID, bytes int) {
 }
 
 // DeliverLocal records the successful end-to-end delivery of a packet
-// destined to this node. A packet whose (Src, ID) already saw a terminal
-// event — the original of a radio-duplicated copy, typically — is
-// suppressed: it neither recounts DataDelivered nor re-accumulates
-// latency, and emits no trace event (the first terminal event wins).
+// destined to this node, consuming the caller's ownership of pkt. A
+// packet whose (Src, ID) already saw a terminal event — the original of
+// a radio-duplicated copy, typically — is suppressed: it neither recounts
+// DataDelivered nor re-accumulates latency, and emits no trace event
+// (the first terminal event wins).
 func (n *Node) DeliverLocal(pkt *DataPacket) {
-	if !n.col.NoteDelivered(int(pkt.Src), pkt.ID) {
-		return
+	if n.col.NoteDelivered(int(pkt.Src), pkt.ID) {
+		lat := n.sim.Now() - pkt.SentAt
+		n.col.TotalLatency += lat
+		n.col.Latency.Observe(lat)
+		if hops := DefaultTTL - pkt.TTL + 1; hops > 0 {
+			n.col.HopsSum += uint64(hops)
+		}
+		n.trace(TraceDeliver, pkt, n.id, 0)
 	}
-	lat := n.sim.Now() - pkt.SentAt
-	n.col.TotalLatency += lat
-	n.col.Latency.Observe(lat)
-	if hops := DefaultTTL - pkt.TTL + 1; hops > 0 {
-		n.col.HopsSum += uint64(hops)
-	}
-	n.trace(TraceDeliver, pkt, n.id, 0)
+	n.releasePacket(pkt)
 }
 
 // DropData records a data packet lost at this node for the given reason
-// (no route, TTL expiry, queue overflow, link failure, crash wipe). Like
-// DeliverLocal it is first-terminal-event-wins: dropping a stale copy of
-// an already-terminal packet only bumps the LateDrops diagnostic.
+// (no route, TTL expiry, queue overflow, link failure, crash wipe),
+// consuming the caller's ownership of pkt. Like DeliverLocal it is
+// first-terminal-event-wins: dropping a stale copy of an already-terminal
+// packet only bumps the LateDrops diagnostic.
 func (n *Node) DropData(pkt *DataPacket, reason DropReason) {
-	if !n.col.NoteDropped(int(pkt.Src), pkt.ID, reason) {
-		return
+	if n.col.NoteDropped(int(pkt.Src), pkt.ID, reason) {
+		n.trace(TraceDrop, pkt, BroadcastID, reason)
 	}
-	n.trace(TraceDrop, pkt, BroadcastID, reason)
+	n.releasePacket(pkt)
 }
 
 // Crash models a node crash for the fault injector: the node powers off,
@@ -289,6 +464,12 @@ func (n *Node) DropData(pkt *DataPacket, reason DropReason) {
 // state are wiped. Without the queue walk those packets would vanish —
 // initiated but never delivered or dropped — and break the conservation
 // equation the conformance auditor enforces.
+//
+// Ordering matters for the pools: DropData here releases each packet's
+// protocol reference while the MAC frame still holds its own, and
+// mac.Reset then marks the frames failed and releases them without
+// callbacks — FrameReleased sees Failed and drops only the frame
+// reference, so nothing is released twice.
 func (n *Node) Crash() {
 	n.SetDown(true)
 	n.mac.ForEachQueued(func(f *mac.Frame) {
@@ -341,14 +522,8 @@ func (n *Node) deliverFrame(from int, f *mac.Frame) {
 	case nf.msg != nil:
 		n.proto.HandleControl(NodeID(from), nf.msg)
 	case nf.data != nil:
-		// Hand the protocol its own copy: the same *DataPacket pointer is
-		// delivered to every broadcast receiver and mutating shared state
-		// (TTL, source-route index) would corrupt other receivers.
-		cp := *nf.data
-		if len(nf.data.SourceRoute) > 0 {
-			cp.SourceRoute = append([]NodeID(nil), nf.data.SourceRoute...)
-		}
-		n.proto.HandleData(NodeID(from), &cp)
+		// Hand the protocol its own pooled copy (see copyPacket).
+		n.proto.HandleData(NodeID(from), n.copyPacket(nf.data))
 	}
 }
 

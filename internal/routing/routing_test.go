@@ -119,7 +119,7 @@ func TestDataDeliveryAndLatencyAccounting(t *testing.T) {
 	nw.Start()
 	nw.Sim.Schedule(0, func() {
 		pkt := &routing.DataPacket{Src: 0, Dst: 1, Bytes: 512, TTL: 8}
-		nw.Nodes[0].SendData(1, pkt, nil, nil)
+		nw.Nodes[0].SendData(1, pkt)
 	})
 	nw.Sim.RunAll()
 
@@ -148,7 +148,7 @@ func TestBroadcastDataCopiesAreIndependent(t *testing.T) {
 			Src: 1, Dst: 2, Bytes: 100, TTL: 10,
 			SourceRoute: []routing.NodeID{1, 0, 2},
 		}
-		nw.Nodes[1].SendData(routing.BroadcastID, pkt, nil, nil)
+		nw.Nodes[1].SendData(routing.BroadcastID, pkt)
 	})
 	nw.Sim.RunAll()
 

@@ -31,7 +31,7 @@ func (p *relayProtocol) forward(pkt *routing.DataPacket) {
 		p.node.DropData(pkt, metrics.DropNoRoute)
 		return
 	}
-	p.node.SendData(p.node.ID()+1, pkt, nil, nil)
+	p.node.SendData(p.node.ID()+1, pkt)
 }
 
 func TestRecorderReconstructsPacketPath(t *testing.T) {

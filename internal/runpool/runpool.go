@@ -1,0 +1,43 @@
+// Package runpool provides run-local free lists: the allocation-recycling
+// primitive behind the simulator's zero-GC steady state.
+//
+// A Pool is deliberately NOT a sync.Pool. Every simulation run is
+// single-threaded, and the parallel sweep gives each run its own pools, so
+// no synchronization is needed and — unlike sync.Pool — nothing is emptied
+// behind the run's back by the garbage collector. A pool's free list grows
+// to the run's high-water mark of simultaneously live objects and then
+// every Get is a pointer pop: once warm, the steady state allocates
+// nothing.
+//
+// Recycle invariant: Put hands the object's memory back to the pool, so
+// the caller must not retain the pointer, and the next Get's caller must
+// overwrite every field it reads (Put does not zero the object — resetting
+// is the owner's job precisely because owners know which fields are cheap
+// to reset and which, like backing arrays of slices, are the point of
+// recycling).
+package runpool
+
+// Pool is a free list of *T. The zero value is ready to use.
+type Pool[T any] struct {
+	free []*T
+}
+
+// Get pops a recycled object, or allocates a zero T when the pool is
+// empty. Objects come back exactly as Put left them — callers reset.
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put recycles an object. The caller must not use x afterwards.
+func (p *Pool[T]) Put(x *T) {
+	p.free = append(p.free, x)
+}
+
+// Len returns the number of objects currently on the free list (tests).
+func (p *Pool[T]) Len() int { return len(p.free) }

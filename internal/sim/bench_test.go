@@ -44,3 +44,20 @@ func BenchmarkCancel(b *testing.B) {
 		ev.Cancel()
 	}
 }
+
+// BenchmarkScheduleTransient proves the unboxed transient path: a pointer
+// payload plus a scalar argument schedule and fire at 0 allocs/op once
+// the event pool is warm.
+func BenchmarkScheduleTransient(b *testing.B) {
+	s := sim.New()
+	fn := func(any, uint64) {}
+	payload := new(int)
+	s.ScheduleTransient(0, fn, payload, 1)
+	s.RunAll() // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleTransient(time.Microsecond, fn, payload, uint64(i))
+		s.Step()
+	}
+}

@@ -5,58 +5,104 @@ import (
 	"time"
 )
 
-// White-box tests for the event free list and callback-release semantics.
+// White-box tests for the event free list, Timer generation checks, and
+// callback-release semantics.
 
-func TestCancelReleasesCallback(t *testing.T) {
+func TestCancelRecyclesEvent(t *testing.T) {
 	s := New()
 	fired := false
 	ev := s.Schedule(time.Hour, func() { fired = true })
 	ev.Cancel()
-	if ev.fn != nil || ev.afn != nil || ev.arg != nil {
-		t.Fatal("Cancel left the callback pinned")
-	}
 	if ev.Pending() {
 		t.Fatal("cancelled event still pending")
 	}
+	if s.pool.Len() != 1 {
+		t.Fatalf("free list has %d events after Cancel, want 1", s.pool.Len())
+	}
 	ev.Cancel() // double-cancel is a no-op
+	if s.pool.Len() != 1 {
+		t.Fatal("double-cancel recycled the event twice")
+	}
 	s.RunAll()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
 }
 
-func TestFiredEventReleasesCallback(t *testing.T) {
+func TestFiredEventIsRecycledAndReleased(t *testing.T) {
 	s := New()
-	ev := s.Schedule(0, func() {})
+	s.Schedule(0, func() {})
 	s.RunAll()
-	if ev.fn != nil {
-		t.Fatal("fired event still pins its closure")
+	if s.pool.Len() != 1 {
+		t.Fatalf("free list has %d events after firing, want 1", s.pool.Len())
+	}
+	recycled := s.pool.Get() // pop the recycled event to inspect it
+	if recycled.fn != nil || recycled.afn != nil || recycled.arg != nil {
+		t.Fatal("recycled event still pins its callback")
+	}
+	s.pool.Put(recycled)
+}
+
+// TestStaleTimerIsInert is the generation-check property: a Timer held
+// past its event's firing must not be able to cancel (or observe) the
+// recycled event after it is reissued to an unrelated caller.
+func TestStaleTimerIsInert(t *testing.T) {
+	s := New()
+	stale := s.Schedule(0, func() {})
+	s.RunAll() // fires; event goes back to the pool
+	fired := false
+	fresh := s.Schedule(time.Second, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatal("second Schedule did not reuse the pooled event (test setup)")
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports the reissued event as its own")
+	}
+	stale.Cancel() // must not touch the reissued event
+	if !fresh.Pending() {
+		t.Fatal("stale handle cancelled an unrelated reissued event")
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("reissued event did not fire")
+	}
+}
+
+func TestZeroTimerIsInert(t *testing.T) {
+	var tm Timer
+	if tm.Pending() {
+		t.Fatal("zero Timer reports pending")
+	}
+	tm.Cancel() // must not panic
+	if tm.Time() != 0 {
+		t.Fatal("zero Timer has a firing time")
 	}
 }
 
 func TestTransientEventsAreRecycled(t *testing.T) {
 	s := New()
 	calls := 0
-	fn := func(arg any) {
-		if arg != "payload" {
-			t.Fatalf("arg = %v", arg)
+	fn := func(arg any, u uint64) {
+		if arg != "payload" || u != 7 {
+			t.Fatalf("arg = %v, u = %d", arg, u)
 		}
 		calls++
 	}
-	s.ScheduleTransient(0, fn, "payload")
+	s.ScheduleTransient(0, fn, "payload", 7)
 	s.RunAll()
 	if calls != 1 {
 		t.Fatalf("calls = %d", calls)
 	}
-	if len(s.free) != 1 {
-		t.Fatalf("free list has %d events, want 1", len(s.free))
+	if s.pool.Len() != 1 {
+		t.Fatalf("free list has %d events, want 1", s.pool.Len())
 	}
-	recycled := s.free[0]
-	if recycled.afn != nil || recycled.arg != nil {
+	recycled := s.pool.Get() // pop the recycled event to inspect it
+	if recycled.afn != nil || recycled.arg != nil || recycled.u != 0 {
 		t.Fatal("recycled event still pins its callback")
 	}
-	s.ScheduleTransient(0, fn, "payload")
-	if len(s.free) != 0 {
+	s.pool.Put(recycled)
+	s.ScheduleTransient(0, fn, "payload", 7)
+	if s.pool.Len() != 0 {
 		t.Fatal("pooled event was not reused")
 	}
 	if s.queue[0] != recycled {
@@ -68,13 +114,46 @@ func TestTransientEventsAreRecycled(t *testing.T) {
 	}
 }
 
-func TestTransientZeroAllocsWhenWarm(t *testing.T) {
+// TestScheduleZeroAllocsWhenWarm guards the pooled schedule/fire cycle:
+// with a warm pool, neither Schedule nor firing may allocate.
+func TestScheduleZeroAllocsWhenWarm(t *testing.T) {
 	s := New()
-	fn := func(any) {}
-	s.ScheduleTransient(0, fn, nil)
+	fn := func() {}
+	s.Schedule(0, fn)
 	s.RunAll() // warm the pool
 	allocs := testing.AllocsPerRun(1000, func() {
-		s.ScheduleTransient(0, fn, nil)
+		s.Schedule(0, fn)
+		s.RunAll()
+	})
+	if allocs > 0 {
+		t.Fatalf("Schedule allocates %.1f/op with a warm pool", allocs)
+	}
+}
+
+// TestCancelZeroAllocsWhenWarm guards the schedule/cancel cycle (route
+// timers are cancelled far more often than they fire).
+func TestCancelZeroAllocsWhenWarm(t *testing.T) {
+	s := New()
+	fn := func() {}
+	s.Schedule(0, fn).Cancel()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Schedule(time.Hour, fn).Cancel()
+	})
+	if allocs > 0 {
+		t.Fatalf("Schedule+Cancel allocates %.1f/op with a warm pool", allocs)
+	}
+}
+
+// TestTransientZeroAllocsWhenWarm guards the no-boxing contract: a
+// pointer payload in arg plus a scalar in u must not allocate.
+func TestTransientZeroAllocsWhenWarm(t *testing.T) {
+	s := New()
+	fn := func(any, uint64) {}
+	payload := new(int)
+	s.ScheduleTransient(0, fn, payload, 1)
+	s.RunAll() // warm the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.ScheduleTransient(0, fn, payload, 42)
 		s.RunAll()
 	})
 	if allocs > 0 {
@@ -86,9 +165,9 @@ func TestTransientOrderingMatchesSchedule(t *testing.T) {
 	s := New()
 	var order []int
 	s.Schedule(time.Millisecond, func() { order = append(order, 1) })
-	s.ScheduleTransient(time.Millisecond, func(any) { order = append(order, 2) }, nil)
+	s.ScheduleTransient(time.Millisecond, func(any, uint64) { order = append(order, 2) }, nil, 0)
 	s.Schedule(time.Millisecond, func() { order = append(order, 3) })
-	s.ScheduleTransient(0, func(any) { order = append(order, 0) }, nil)
+	s.ScheduleTransient(0, func(any, uint64) { order = append(order, 0) }, nil, 0)
 	s.RunAll()
 	for i, v := range order {
 		if i != v {
@@ -100,7 +179,7 @@ func TestTransientOrderingMatchesSchedule(t *testing.T) {
 func TestTransientNegativeDelayClamped(t *testing.T) {
 	s := New()
 	fired := false
-	s.ScheduleTransient(-time.Second, func(any) { fired = true }, nil)
+	s.ScheduleTransient(-time.Second, func(any, uint64) { fired = true }, nil, 0)
 	if s.queue.peek().at != 0 {
 		t.Fatal("negative delay not clamped to now")
 	}

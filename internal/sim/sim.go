@@ -8,48 +8,77 @@
 // The engine is intentionally single-threaded: all protocol, MAC, and radio
 // code runs inside event callbacks on one goroutine. No locking is needed
 // anywhere in the simulation path.
+//
+// Every event object is recycled through a run-local free list
+// (internal/runpool) the moment it fires or is cancelled, so the steady
+// state of a warm run schedules events without allocating. Callers never
+// hold *Event pointers: Schedule and At return a generation-stamped Timer
+// handle whose Cancel and Pending become no-ops once the underlying event
+// has fired and been reissued, making a stale handle harmless rather than
+// a use-after-recycle bug.
 package sim
 
 import (
 	"container/heap"
 	"time"
+
+	"github.com/manetlab/ldr/internal/runpool"
 )
 
-// Event is a scheduled callback. The zero value is not useful; obtain
-// Events from Simulator.Schedule or Simulator.At.
+// Event is a scheduled callback. Event objects are owned and recycled by
+// the Simulator; callers interact with them only through Timer handles.
 type Event struct {
-	at    time.Duration
-	seq   uint64
-	fn    func()
-	afn   func(any) // argument-style callback used by the transient path
-	arg   any
+	at  time.Duration
+	seq uint64
+	gen uint32 // bumped on every recycle; Timer handles snapshot it
+	fn  func()
+
+	// Argument-style callback used by the transient path. Carrying both an
+	// interface payload and a scalar lets hot callers pass a pointer and a
+	// small integer (epoch, node id) without boxing either.
+	afn func(any, uint64)
+	arg any
+	u   uint64
+
 	index int        // position in the heap, -1 once removed
 	owner *Simulator // simulator holding the event while queued
-
-	// transient events are pooled: no *Event pointer escapes to callers,
-	// so the struct can be recycled the moment it fires.
-	transient bool
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() time.Duration { return e.at }
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and refers to nothing: Cancel is a no-op and Pending reports
+// false. Handles are generation-checked, so holding one past its event's
+// firing is safe — the recycled event cannot be cancelled by mistake.
+type Timer struct {
+	ev  *Event
+	gen uint32
+}
 
-// Cancel removes the event from the queue. Cancelling an event that has
-// already fired or been cancelled is a no-op. The callback is released so
-// a cancelled event does not pin its closure (and captured payloads)
-// until the Event itself becomes unreachable.
-func (e *Event) Cancel() {
-	if e.index >= 0 && e.owner != nil {
-		heap.Remove(&e.owner.queue, e.index)
-		e.owner = nil
-		e.fn = nil
-		e.afn = nil
-		e.arg = nil
+// Pending reports whether the timer's event is still scheduled.
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+}
+
+// Time returns the virtual time at which the event fires, or zero if the
+// timer is no longer pending.
+func (t Timer) Time() time.Duration {
+	if !t.Pending() {
+		return 0
 	}
+	return t.ev.at
 }
 
-// Pending reports whether the event is still scheduled.
-func (e *Event) Pending() bool { return e.index >= 0 }
+// Cancel removes the event from the queue and recycles it. Cancelling an
+// event that has already fired, been cancelled, or was never scheduled is
+// a no-op.
+func (t Timer) Cancel() {
+	if !t.Pending() {
+		return
+	}
+	ev := t.ev
+	s := ev.owner
+	heap.Remove(&s.queue, ev.index)
+	s.recycle(ev)
+}
 
 // Simulator is a discrete-event simulation engine.
 type Simulator struct {
@@ -58,7 +87,7 @@ type Simulator struct {
 	seq    uint64
 	fired  uint64
 	halted bool
-	free   []*Event // recycled transient events
+	pool   runpool.Pool[Event] // recycled events, transient and timed alike
 }
 
 // New returns a simulator with its clock at zero.
@@ -73,10 +102,32 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // progress/cost measure for benchmarks.
 func (s *Simulator) EventsFired() uint64 { return s.fired }
 
+// get pops a pooled event (or allocates one) and stamps it for queueing.
+func (s *Simulator) get(at time.Duration) *Event {
+	s.seq++
+	ev := s.pool.Get()
+	ev.at = at
+	ev.seq = s.seq
+	ev.owner = s
+	return ev
+}
+
+// recycle releases an event's callback and returns it to the pool. The
+// generation bump invalidates every outstanding Timer handle.
+func (s *Simulator) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.u = 0
+	ev.owner = nil
+	s.pool.Put(ev)
+}
+
 // Schedule runs fn after delay of virtual time. A negative delay is
 // treated as zero (fire as soon as possible, after already-queued events
 // at the current instant).
-func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+func (s *Simulator) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -86,14 +137,14 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
 // At runs fn at absolute virtual time t. Scheduling in the past is an
 // error in the caller; the event is clamped to the current instant so the
 // clock never runs backwards.
-func (s *Simulator) At(t time.Duration, fn func()) *Event {
+func (s *Simulator) At(t time.Duration, fn func()) Timer {
 	if t < s.now {
 		t = s.now
 	}
-	s.seq++
-	ev := &Event{at: t, seq: s.seq, fn: fn, owner: s}
+	ev := s.get(t)
+	ev.fn = fn
 	heap.Push(&s.queue, ev)
-	return ev
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Every runs fn at absolute time start and then every interval, stopping
@@ -117,31 +168,24 @@ func (s *Simulator) Every(start, interval, until time.Duration, fn func()) {
 	s.At(start, tick)
 }
 
-// ScheduleTransient runs fn(arg) after delay of virtual time, like
+// ScheduleTransient runs fn(arg, u) after delay of virtual time, like
 // Schedule, but returns no handle: the event cannot be cancelled or
-// observed. Because no *Event pointer escapes, the simulator recycles the
-// event struct through an internal free list the moment it fires, so
+// observed. Because no Timer escapes, there is nothing for the caller to
+// misuse and the event struct is recycled the moment it fires, so
 // high-frequency callers (the radio schedules three of these per frame
 // per receiver) pay no per-call allocation once the pool is warm.
-func (s *Simulator) ScheduleTransient(delay time.Duration, fn func(any), arg any) {
+//
+// The payload is split in two on purpose: arg carries a pointer without
+// allocating, and u carries a small scalar (an epoch, a node index)
+// without the interface boxing that putting an int in arg would cost.
+func (s *Simulator) ScheduleTransient(delay time.Duration, fn func(any, uint64), arg any, u uint64) {
 	if delay < 0 {
 		delay = 0
 	}
-	s.seq++
-	var ev *Event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-	} else {
-		ev = &Event{}
-	}
-	ev.at = s.now + delay
-	ev.seq = s.seq
+	ev := s.get(s.now + delay)
 	ev.afn = fn
 	ev.arg = arg
-	ev.owner = s
-	ev.transient = true
+	ev.u = u
 	heap.Push(&s.queue, ev)
 }
 
@@ -152,21 +196,18 @@ func (s *Simulator) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&s.queue).(*Event)
-	ev.owner = nil
 	s.now = ev.at
 	s.fired++
-	// Release the callback before invoking it so a fired event does not
-	// pin its closure; transient events go back to the pool immediately
-	// (safe: the callback may only schedule new events, never touch ev).
-	fn, afn, arg := ev.fn, ev.afn, ev.arg
-	ev.fn, ev.afn, ev.arg = nil, nil, nil
-	if ev.transient {
-		s.free = append(s.free, ev)
-	}
+	// Copy the callback out and recycle before invoking: a fired event
+	// must not pin its closure, and the callback may only schedule new
+	// events — it can never reach the recycled struct because no *Event
+	// escapes and the generation bump killed every Timer handle.
+	fn, afn, arg, u := ev.fn, ev.afn, ev.arg, ev.u
+	s.recycle(ev)
 	if fn != nil {
 		fn()
 	} else if afn != nil {
-		afn(arg)
+		afn(arg, u)
 	}
 	return true
 }
