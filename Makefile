@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race fuzz-smoke chaos adversary bench bench-sweep bench-smoke bench-chaos bench-adversary bench-all profile examples experiments clean
+.PHONY: all check build test vet race fuzz-smoke chaos adversary modelcheck modelcheck-smoke modelcheck-seed bench bench-sweep bench-smoke bench-chaos bench-adversary bench-modelcheck bench-all profile examples experiments clean
 
 all: check
 
-check: build vet test race fuzz-smoke adversary bench-smoke
+check: build vet test race fuzz-smoke adversary modelcheck-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,39 @@ fuzz-smoke:
 chaos:
 	$(GO) test -race -timeout 60m ./internal/fault/ -run .
 	$(GO) test -race -timeout 60m ./internal/experiments/ -run Chaos
+
+# Bounded model check, full scale (a few minutes on one core):
+# exhaustively verify LDR's loop-freedom and (sn, fd) ordering on every
+# non-isomorphic connected 3- and 4-node topology within the sweep's
+# budgets (state counts reported, zero violations required), then make
+# the checker rediscover the van Glabbeek AODV loop from scratch and
+# replay both a fresh witness and the committed seed to a real routing
+# loop under the full MAC/radio simulator.
+modelcheck:
+	$(GO) run ./cmd/ldrbench -exp modelcheck
+	$(GO) run ./cmd/ldrcheck -protocol aodv -resets 1 -drops 1 -expect-violation -emit /tmp/aodv-line3-loop.json -q
+	$(GO) test ./internal/modelcheck/ -run 'TestAODVLine3Violation|TestWitnessBridge' -v
+
+# Fast model-check smoke under the race detector: LDR clean at the van
+# Glabbeek budget, the rediscovered AODV loop, and the committed-seed
+# bridge replays, all on the 3-node line. Part of `make check`.
+modelcheck-smoke:
+	$(GO) test -race -timeout 30m ./internal/modelcheck/ -run 'TestLDRLine3Clean|TestAODVLine3Violation|TestWitnessBridge'
+
+# Regenerate the committed van Glabbeek witness seed from scratch (the
+# checker re-derives the schedule; the file only changes if the witness
+# translation rules did).
+modelcheck-seed:
+	$(GO) run ./cmd/ldrcheck -protocol aodv -resets 1 -drops 1 -expect-violation \
+		-emit internal/modelcheck/testdata/aodv-line3-loop.json -q
+
+# Exploration throughput (states/sec, trans/sec) and exact state counts,
+# recorded as BENCH_modelcheck.json and gated against the committed
+# baseline: >10% B/op or allocs/op regression fails the target.
+bench-modelcheck:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'CheckLDRLine3|CheckAODVLine3' -benchtime 2x -benchmem \
+		./internal/modelcheck/ | tee /dev/stderr | /tmp/benchjson -o BENCH_modelcheck.json -maxregress 10
 
 # The Byzantine-node suite under the race detector: LDR's loop-freedom
 # property under every attack profile, the committed AODV forged-seqno

@@ -34,6 +34,11 @@ type Spec struct {
 	Adversary  string  `json:"adversary,omitempty"` // adversary.ProfileNames entry
 	AuditMS    int     `json:"audit_ms"`
 	Note       string  `json:"note,omitempty"`
+
+	// Script, when non-nil, replaces the randomized workload with exact
+	// positions, origination times, and fault timing (see Script). Used
+	// by model-checker witnesses.
+	Script *Script `json:"script,omitempty"`
 }
 
 // String renders the spec compactly for logs.
@@ -81,6 +86,11 @@ func (s Spec) Config() (scenario.Config, error) {
 	}
 	if s.AuditMS > 0 {
 		cfg.AuditCadence = time.Duration(s.AuditMS) * time.Millisecond
+	}
+	if s.Script != nil {
+		if err := s.Script.apply(&cfg); err != nil {
+			return scenario.Config{}, err
+		}
 	}
 	return cfg, nil
 }

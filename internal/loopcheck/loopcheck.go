@@ -87,7 +87,6 @@ func (c *Checker) resize(n int) {
 // network costs zero allocations once the Checker is warm.
 func (c *Checker) Check(nodes []*routing.Node) []Violation {
 	c.resize(len(nodes))
-	n := c.n
 	for _, node := range nodes {
 		var snap []routing.RouteEntry
 		switch p := node.Protocol().(type) {
@@ -99,24 +98,48 @@ func (c *Checker) Check(nodes []*routing.Node) []Violation {
 		default:
 			continue
 		}
-		id := int(node.ID())
-		for _, e := range snap {
-			if !e.Valid || int(e.Dst) < 0 || int(e.Dst) >= n || e.Dst == node.ID() {
-				continue
-			}
-			c.succ[int(e.Dst)*n+id] = hop{
-				next:  e.Next,
-				seq:   e.SeqNo,
-				fd:    e.FD,
-				has:   true,
-				hasFD: e.FD > 0,
-			}
-			c.dstUsed[e.Dst] = true
-		}
+		c.addTable(int(node.ID()), snap)
 	}
+	return c.finish()
+}
 
+// CheckTables is the single loop-freedom/ordering predicate over a
+// god's-eye view of routing state that has already been snapshotted:
+// tables[i] is node i's table (routing.TableAppender output). Both the
+// continuous auditor (via Check) and the bounded model checker
+// (internal/modelcheck, which holds abstract states rather than live
+// networks) evaluate the invariant through this one entry point, so the
+// two can never drift.
+func (c *Checker) CheckTables(tables [][]routing.RouteEntry) []Violation {
+	c.resize(len(tables))
+	for id, snap := range tables {
+		c.addTable(id, snap)
+	}
+	return c.finish()
+}
+
+// addTable folds one node's snapshot into the successor matrix.
+func (c *Checker) addTable(id int, snap []routing.RouteEntry) {
+	n := c.n
+	for _, e := range snap {
+		if !e.Valid || int(e.Dst) < 0 || int(e.Dst) >= n || int(e.Dst) == id {
+			continue
+		}
+		c.succ[int(e.Dst)*n+id] = hop{
+			next:  e.Next,
+			seq:   e.SeqNo,
+			fd:    e.FD,
+			has:   true,
+			hasFD: e.FD > 0,
+		}
+		c.dstUsed[e.Dst] = true
+	}
+}
+
+// finish walks the folded successor matrix for every used destination.
+func (c *Checker) finish() []Violation {
 	var violations []Violation
-	for dst := 0; dst < n; dst++ {
+	for dst := 0; dst < c.n; dst++ {
 		if c.dstUsed[dst] {
 			violations = c.checkDst(routing.NodeID(dst), violations)
 		}

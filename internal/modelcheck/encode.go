@@ -1,0 +1,297 @@
+package modelcheck
+
+// Canonical state encoding. A state is (per-node protocol state,
+// per-link pending multisets, origination progress, remaining fault
+// budgets). Two states are identified when some automorphism of the
+// topology that fixes every flow endpoint maps one onto the other; the
+// canonical form is the lexicographically minimal serialization over the
+// automorphism group, and the BFS memoizes its 128-bit FNV-1a hash.
+//
+// Per-link queues are serialized as sorted multisets: the checker can
+// deliver any pending item in any order, so queue position carries no
+// information and states differing only by it must collide.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/manetlab/ldr/internal/aodv"
+	"github.com/manetlab/ldr/internal/core"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// stateKey is the 128-bit memoization key of a canonical state.
+type stateKey [16]byte
+
+// encoder canonicalizes and hashes world states, reusing its buffers
+// across calls. Not safe for concurrent use.
+type encoder struct {
+	n     int
+	autos [][]int // automorphism group, identity included
+	inv   []int   // scratch: inverse permutation
+	buf   []byte  // candidate serialization under one automorphism
+	best  []byte  // minimal serialization so far
+	item  []byte  // scratch for one pending item
+	items [][]byte
+}
+
+func newEncoder(n int, autos [][]int) *encoder {
+	return &encoder{n: n, autos: autos, inv: make([]int, n)}
+}
+
+// key returns the canonical hash of w given the remaining budgets
+// (budgets gate which actions are enabled, so two protocol-identical
+// states with different allowances are distinct).
+func (e *encoder) key(w *world, b budgets) stateKey {
+	e.best = e.best[:0]
+	for ai, perm := range e.autos {
+		e.buf = e.encodeUnder(e.buf[:0], w, b, perm)
+		if ai == 0 || lessBytes(e.buf, e.best) {
+			e.best = append(e.best[:0], e.buf...)
+		}
+	}
+	h := fnv.New128a()
+	h.Write(e.best)
+	var k stateKey
+	h.Sum(k[:0])
+	return k
+}
+
+func lessBytes(a, b []byte) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// encodeUnder serializes w relabeled by perm.
+func (e *encoder) encodeUnder(out []byte, w *world, b budgets, perm []int) []byte {
+	n := e.n
+	for i, p := range perm {
+		e.inv[p] = i
+	}
+	mapID := func(id routing.NodeID) routing.NodeID {
+		if int(id) < 0 || int(id) >= n {
+			return id // BroadcastID and other sentinels pass through
+		}
+		return routing.NodeID(perm[id])
+	}
+
+	// Context: origination progress and remaining budgets.
+	out = binary.AppendUvarint(out, uint64(w.nextFlow))
+	out = binary.AppendUvarint(out, uint64(b.drops))
+	out = binary.AppendUvarint(out, uint64(b.dups))
+	out = binary.AppendUvarint(out, uint64(b.resets))
+	out = binary.AppendUvarint(out, uint64(b.vresets))
+
+	// Node states, in mapped-identifier order: position p holds the state
+	// of the node that perm maps to p.
+	for p := 0; p < n; p++ {
+		ms, ok := w.nw.Nodes[e.inv[p]].Protocol().(routing.ModelStater)
+		if !ok {
+			panic(fmt.Sprintf("modelcheck: protocol %T does not implement routing.ModelStater", w.nw.Nodes[e.inv[p]].Protocol()))
+		}
+		out = ms.AppendModelState(out, mapID)
+	}
+
+	// Pending multisets, links sorted by mapped (from, to), items sorted
+	// by their serialized form.
+	type lrow struct {
+		mf, mt   int
+		from, to int
+	}
+	var rows []lrow
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if len(w.pending[from*n+to]) > 0 {
+				rows = append(rows, lrow{mf: perm[from], mt: perm[to], from: from, to: to})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].mf != rows[j].mf {
+			return rows[i].mf < rows[j].mf
+		}
+		return rows[i].mt < rows[j].mt
+	})
+	out = binary.AppendUvarint(out, uint64(len(rows)))
+	for _, r := range rows {
+		out = binary.AppendUvarint(out, uint64(r.mf))
+		out = binary.AppendUvarint(out, uint64(r.mt))
+		q := w.pending[r.from*n+r.to]
+		e.items = e.items[:0]
+		for _, m := range q {
+			e.item = encodeItem(e.item[:0], m, mapID)
+			e.items = append(e.items, append([]byte(nil), e.item...))
+		}
+		sort.Slice(e.items, func(i, j int) bool { return lessBytes(e.items[i], e.items[j]) })
+		out = binary.AppendUvarint(out, uint64(len(e.items)))
+		for _, it := range e.items {
+			out = append(out, it...)
+		}
+	}
+	return out
+}
+
+// encodeItem serializes one pending link item under the relabeling.
+// Every behaviour-relevant field of every message type the two modeled
+// protocols emit is covered; an unknown type panics rather than silently
+// aliasing distinct states.
+func encodeItem(out []byte, m linkMsg, mapID func(routing.NodeID) routing.NodeID) []byte {
+	if m.pkt != nil {
+		p := m.pkt
+		out = append(out, 0)
+		out = binary.AppendVarint(out, int64(mapID(p.Src)))
+		out = binary.AppendVarint(out, int64(mapID(p.Dst)))
+		out = binary.AppendUvarint(out, p.ID)
+		out = binary.AppendVarint(out, int64(p.TTL))
+		out = binary.AppendVarint(out, int64(p.Bytes))
+		out = binary.AppendVarint(out, int64(p.SRIndex))
+		out = binary.AppendVarint(out, int64(p.Salvaged))
+		out = binary.AppendUvarint(out, uint64(len(p.SourceRoute)))
+		for _, h := range p.SourceRoute {
+			out = binary.AppendVarint(out, int64(mapID(h)))
+		}
+		return out
+	}
+	switch q := m.msg.(type) {
+	case *core.RREQ:
+		return encodeCoreRREQ(out, *q, mapID)
+	case core.RREQ:
+		return encodeCoreRREQ(out, q, mapID)
+	case *core.RREP:
+		return encodeCoreRREP(out, *q, mapID)
+	case core.RREP:
+		return encodeCoreRREP(out, q, mapID)
+	case *core.RERR:
+		return encodeCoreRERR(out, *q, mapID)
+	case core.RERR:
+		return encodeCoreRERR(out, q, mapID)
+	case *aodv.RREQ:
+		return encodeAODVRREQ(out, *q, mapID)
+	case aodv.RREQ:
+		return encodeAODVRREQ(out, q, mapID)
+	case *aodv.RREP:
+		return encodeAODVRREP(out, *q, mapID)
+	case aodv.RREP:
+		return encodeAODVRREP(out, q, mapID)
+	case *aodv.RERR:
+		return encodeAODVRERR(out, *q, mapID)
+	case aodv.RERR:
+		return encodeAODVRERR(out, q, mapID)
+	case *aodv.Hello:
+		return encodeAODVHello(out, *q, mapID)
+	case aodv.Hello:
+		return encodeAODVHello(out, q, mapID)
+	}
+	panic(fmt.Sprintf("modelcheck: cannot encode message type %T", m.msg))
+}
+
+func encodeCoreRREQ(out []byte, q core.RREQ, mapID func(routing.NodeID) routing.NodeID) []byte {
+	out = append(out, 1)
+	out = binary.AppendVarint(out, int64(mapID(q.Dst)))
+	out = binary.AppendUvarint(out, uint64(q.DstSeq))
+	out = encFlag(out, q.HaveDstSeq)
+	out = binary.AppendVarint(out, int64(mapID(q.Origin)))
+	out = binary.AppendUvarint(out, uint64(q.OriginSeq))
+	out = binary.AppendUvarint(out, uint64(q.ReqID))
+	out = binary.AppendVarint(out, int64(q.FD))
+	out = binary.AppendVarint(out, int64(q.AnsDist))
+	out = binary.AppendVarint(out, int64(q.Dist))
+	out = binary.AppendVarint(out, int64(q.TTL))
+	out = encFlag(out, q.T)
+	out = encFlag(out, q.N)
+	out = encFlag(out, q.D)
+	return out
+}
+
+func encodeCoreRREP(out []byte, p core.RREP, mapID func(routing.NodeID) routing.NodeID) []byte {
+	out = append(out, 2)
+	out = binary.AppendVarint(out, int64(mapID(p.Dst)))
+	out = binary.AppendUvarint(out, uint64(p.DstSeq))
+	out = binary.AppendVarint(out, int64(mapID(p.Origin)))
+	out = binary.AppendUvarint(out, uint64(p.ReqID))
+	out = binary.AppendVarint(out, int64(p.Dist))
+	out = binary.AppendVarint(out, int64(p.Lifetime))
+	out = encFlag(out, p.N)
+	return out
+}
+
+func encodeCoreRERR(out []byte, e core.RERR, mapID func(routing.NodeID) routing.NodeID) []byte {
+	out = append(out, 3)
+	type dest struct {
+		dst routing.NodeID
+		seq uint64
+	}
+	ds := make([]dest, 0, len(e.Unreachable))
+	for _, u := range e.Unreachable {
+		ds = append(ds, dest{mapID(u.Dst), uint64(u.Seq)})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].dst < ds[j].dst })
+	out = binary.AppendUvarint(out, uint64(len(ds)))
+	for _, d := range ds {
+		out = binary.AppendVarint(out, int64(d.dst))
+		out = binary.AppendUvarint(out, d.seq)
+	}
+	return out
+}
+
+func encodeAODVRREQ(out []byte, q aodv.RREQ, mapID func(routing.NodeID) routing.NodeID) []byte {
+	out = append(out, 4)
+	out = binary.AppendVarint(out, int64(mapID(q.Dst)))
+	out = binary.AppendUvarint(out, uint64(q.DstSeq))
+	out = encFlag(out, q.UnknownSeq)
+	out = binary.AppendVarint(out, int64(mapID(q.Origin)))
+	out = binary.AppendUvarint(out, uint64(q.OriginSeq))
+	out = binary.AppendUvarint(out, uint64(q.ReqID))
+	out = binary.AppendVarint(out, int64(q.HopCount))
+	out = binary.AppendVarint(out, int64(q.TTL))
+	return out
+}
+
+func encodeAODVRREP(out []byte, p aodv.RREP, mapID func(routing.NodeID) routing.NodeID) []byte {
+	out = append(out, 5)
+	out = binary.AppendVarint(out, int64(mapID(p.Dst)))
+	out = binary.AppendUvarint(out, uint64(p.DstSeq))
+	out = binary.AppendVarint(out, int64(mapID(p.Origin)))
+	out = binary.AppendVarint(out, int64(p.HopCount))
+	out = binary.AppendVarint(out, int64(p.Lifetime))
+	return out
+}
+
+func encodeAODVRERR(out []byte, e aodv.RERR, mapID func(routing.NodeID) routing.NodeID) []byte {
+	out = append(out, 6)
+	type dest struct {
+		dst routing.NodeID
+		seq uint64
+	}
+	ds := make([]dest, 0, len(e.Unreachable))
+	for _, u := range e.Unreachable {
+		ds = append(ds, dest{mapID(u.Dst), uint64(u.Seq)})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].dst < ds[j].dst })
+	out = binary.AppendUvarint(out, uint64(len(ds)))
+	for _, d := range ds {
+		out = binary.AppendVarint(out, int64(d.dst))
+		out = binary.AppendUvarint(out, d.seq)
+	}
+	return out
+}
+
+func encodeAODVHello(out []byte, h aodv.Hello, mapID func(routing.NodeID) routing.NodeID) []byte {
+	out = append(out, 7)
+	out = binary.AppendVarint(out, int64(mapID(h.Origin)))
+	out = binary.AppendUvarint(out, uint64(h.Seq))
+	return out
+}
+
+func encFlag(out []byte, b bool) []byte {
+	if b {
+		return append(out, 1)
+	}
+	return append(out, 0)
+}

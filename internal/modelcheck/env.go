@@ -1,0 +1,376 @@
+package modelcheck
+
+// The abstract execution environment: a real protocol instance per node
+// (built through the ordinary scenario factory), with the MAC/radio
+// transport and the timer wheel replaced by a routing.ModelEnv. Outgoing
+// messages land in per-link pending multisets; the checker's actions
+// deliver, drop, or duplicate them one at a time. Short timers (the
+// broadcast-jitter relay delay) run as immediate FIFO microtasks drained
+// after every top-level step; long timers (discovery timeouts, cache
+// expiry) park on the node's simulator queue, which the model never
+// advances — at the model's frozen clock they are unreachable, which is
+// part of the abstraction (see DESIGN.md for the soundness discussion).
+//
+// The world is not copyable — protocol state lives in unexported maps —
+// so the search engine reconstructs any state by replaying its action
+// prefix from a fresh world. Everything here is deterministic: per-node
+// RNG streams are seeded identically on every rebuild, map iteration
+// never reaches an emission path, and microtasks run in schedule order.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/ldr/internal/mac"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// ActionKind enumerates the checker's transition types.
+type ActionKind uint8
+
+const (
+	// ActDeliver hands one pending message on a link to its receiver.
+	ActDeliver ActionKind = iota + 1
+	// ActDrop discards one pending message (link-layer loss).
+	ActDrop
+	// ActDup appends a copy of a pending message (link-layer duplication).
+	ActDup
+	// ActReset crash-reboots a node through its ordinary Resetter —
+	// whatever the protocol persists across crashes survives.
+	ActReset
+	// ActResetVolatile crash-reboots a node wiping even the protocol's
+	// stable storage (routing.VolatileResetter).
+	ActResetVolatile
+	// ActOriginate injects the scenario's next data flow at its source.
+	ActOriginate
+)
+
+// Action is one transition of the abstract model.
+type Action struct {
+	Kind     ActionKind
+	From, To routing.NodeID // directed link, for Deliver/Drop/Dup
+	Index    int            // position in that link's pending queue
+	Node     routing.NodeID // for Reset/ResetVolatile
+	Flow     int            // for Originate: index into Scenario.Flows
+}
+
+// String renders the action for witnesses and progress output.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActDeliver:
+		return fmt.Sprintf("deliver %d->%d[%d]", a.From, a.To, a.Index)
+	case ActDrop:
+		return fmt.Sprintf("drop %d->%d[%d]", a.From, a.To, a.Index)
+	case ActDup:
+		return fmt.Sprintf("dup %d->%d[%d]", a.From, a.To, a.Index)
+	case ActReset:
+		return fmt.Sprintf("reset %d", a.Node)
+	case ActResetVolatile:
+		return fmt.Sprintf("reset-volatile %d", a.Node)
+	case ActOriginate:
+		return fmt.Sprintf("originate flow %d", a.Flow)
+	}
+	return fmt.Sprintf("action(%d)", a.Kind)
+}
+
+// Flow is one scripted data origination: Src sends a packet toward Dst
+// when the corresponding Originate action fires.
+type Flow struct {
+	Src, Dst routing.NodeID
+}
+
+// linkMsg is one in-flight item on a directed link. Exactly one of
+// msg/pkt is set. root is the slot of the action whose cascade emitted
+// it (-1 for emissions during initial Start): delivering a message and
+// everything its handler emits happens, under the full simulator, at the
+// root action's virtual time — the whole cascade is quasi-instantaneous
+// there — so the witness builder maps roots, not emission slots, back to
+// simulator time.
+type linkMsg struct {
+	msg  routing.Message
+	pkt  *routing.DataPacket
+	root int
+}
+
+// emission records one link crossing (delivered, dropped, or still
+// pending) with its causal root slot, for witness reconstruction.
+type emission struct {
+	from, to routing.NodeID
+	root     int
+	explicit bool // an explicit Drop action removed it (vs merely in flight)
+}
+
+// microDelayMax separates microtask timers from parked ones: the
+// broadcast-jitter relay delay (10 ms) and anything comparably immediate
+// runs inline; discovery timeouts (≥160 ms) and cache lifetimes (seconds)
+// park. The gap between 10 ms and 160 ms is wide enough that the
+// threshold is not load-bearing.
+const microDelayMax = 50 * time.Millisecond
+
+// microCap bounds a single drain; a protocol whose microtasks re-schedule
+// each other unboundedly would otherwise hang the checker silently.
+const microCap = 100000
+
+// world is one concrete state of the abstract model: a live network plus
+// the pending-message multisets. It implements routing.ModelEnv for every
+// node it owns.
+type world struct {
+	sc      *Scenario
+	nbrs    [][]int // graph adjacency, from topo
+	adj     []bool  // n*n adjacency matrix
+	nw      *routing.Network
+	pending [][]linkMsg // n*n directed slots; only adjacent pairs used
+	micro   []func()
+
+	slot     int // index of the action currently being applied
+	curRoot  int // causal root slot for emissions during the current step
+	nextFlow int // next unoriginated Scenario.Flows index
+
+	delLog  []emission // every Deliver, with the message's root slot
+	dropLog []emission // every explicit Drop, with the victim's root slot
+
+	lostUnicasts int // unicasts addressed to non-neighbors (sent into the void)
+}
+
+var _ routing.ModelEnv = (*world)(nil)
+
+// newWorld builds the initial state: a fresh network with every node's
+// ModelEnv installed before its protocol starts, then the start-time
+// microtask cascade drained. Deterministic: equal scenarios produce
+// byte-identical worlds.
+func newWorld(sc *Scenario) (*world, error) {
+	factory, err := scenario.Factory(scenario.ProtocolName(sc.Protocol), sc.LDRConfig)
+	if err != nil {
+		return nil, err
+	}
+	n := sc.Graph.N
+	w := &world{
+		sc:      sc,
+		nbrs:    sc.Graph.Neighbors(),
+		adj:     make([]bool, n*n),
+		pending: make([][]linkMsg, n*n),
+		slot:    -1,
+		curRoot: -1,
+	}
+	for _, e := range sc.Graph.Edges {
+		w.adj[e[0]*n+e[1]] = true
+		w.adj[e[1]*n+e[0]] = true
+	}
+	// Positions are irrelevant — no frame ever reaches the radio — but the
+	// network constructor wants a mobility model.
+	w.nw = routing.NewNetwork(n, mobility.NewStatic(make([]mobility.Point, n)),
+		radio.DefaultConfig(), mac.DefaultConfig(), sc.Seed, factory)
+	for _, node := range w.nw.Nodes {
+		node.SetModelEnv(w)
+	}
+	w.nw.Start()
+	w.drain()
+	w.slot = 0
+	return w, nil
+}
+
+func (w *world) adjacent(a, b routing.NodeID) bool {
+	n := w.sc.Graph.N
+	if int(a) < 0 || int(a) >= n || int(b) < 0 || int(b) >= n {
+		return false
+	}
+	return w.adj[int(a)*n+int(b)]
+}
+
+func (w *world) push(from, to routing.NodeID, m linkMsg) {
+	w.pending[int(from)*w.sc.Graph.N+int(to)] = append(w.pending[int(from)*w.sc.Graph.N+int(to)], m)
+}
+
+// ModelSendControl implements routing.ModelEnv. A broadcast fans out to
+// every neighbor; the message object is shared between their queue
+// entries, which is safe because received control messages are read-only
+// by contract and the protocol's pools never get the object back (no
+// frame is ever released under the model).
+func (w *world) ModelSendControl(from, to routing.NodeID, msg routing.Message) {
+	if to == routing.BroadcastID {
+		for _, nb := range w.nbrs[from] {
+			w.push(from, routing.NodeID(nb), linkMsg{msg: msg, root: w.curRoot})
+		}
+		return
+	}
+	if w.adjacent(from, to) {
+		w.push(from, to, linkMsg{msg: msg, root: w.curRoot})
+		return
+	}
+	w.lostUnicasts++
+}
+
+// ModelSendData implements routing.ModelEnv. The packet is already an
+// unpooled deep copy owned by the environment.
+func (w *world) ModelSendData(from, next routing.NodeID, pkt *routing.DataPacket) {
+	if w.adjacent(from, next) {
+		w.push(from, next, linkMsg{pkt: pkt, root: w.curRoot})
+		return
+	}
+	w.lostUnicasts++
+}
+
+// ModelSchedule implements routing.ModelEnv: immediate timers become
+// microtasks, long timers park on the node's never-advanced simulator.
+func (w *world) ModelSchedule(delay time.Duration, fn func()) (sim.Timer, bool) {
+	if delay <= microDelayMax {
+		w.micro = append(w.micro, fn)
+		return sim.Timer{}, true
+	}
+	return sim.Timer{}, false
+}
+
+// drain runs queued microtasks FIFO until quiescence.
+func (w *world) drain() {
+	for steps := 0; len(w.micro) > 0; steps++ {
+		if steps > microCap {
+			panic("modelcheck: microtask cascade did not quiesce")
+		}
+		fn := w.micro[0]
+		w.micro = w.micro[1:]
+		fn()
+	}
+}
+
+// apply executes one action and drains the resulting cascade. The caller
+// guarantees the action is enabled (indices in range, budgets respected);
+// apply panics otherwise, because a mis-replayed trace means the engine's
+// reconstruction is broken and no result can be trusted.
+func (w *world) apply(a Action) {
+	n := w.sc.Graph.N
+	w.curRoot = w.slot
+	switch a.Kind {
+	case ActDeliver, ActDrop, ActDup:
+		li := int(a.From)*n + int(a.To)
+		q := w.pending[li]
+		if a.Index < 0 || a.Index >= len(q) {
+			panic(fmt.Sprintf("modelcheck: %v out of range (queue %d)", a, len(q)))
+		}
+		m := q[a.Index]
+		switch a.Kind {
+		case ActDeliver:
+			// The handler's own emissions inherit the delivered message's
+			// causal root: under the full simulator, delivery and reaction
+			// both happen at the root emission's instant.
+			w.curRoot = m.root
+			w.pending[li] = append(q[:a.Index], q[a.Index+1:]...)
+			w.delLog = append(w.delLog, emission{from: a.From, to: a.To, root: m.root})
+			proto := w.nw.Nodes[a.To].Protocol()
+			if m.msg != nil {
+				proto.HandleControl(a.From, m.msg)
+			} else {
+				proto.HandleData(a.From, m.pkt)
+			}
+		case ActDrop:
+			w.pending[li] = append(q[:a.Index], q[a.Index+1:]...)
+			w.dropLog = append(w.dropLog, emission{from: a.From, to: a.To, root: m.root, explicit: true})
+		case ActDup:
+			cp := m // same airing, same causal root: a radio-level duplicate
+			if m.pkt != nil {
+				cp.pkt = routing.CloneDataPacket(m.pkt)
+			}
+			w.pending[li] = append(q, cp)
+		}
+	case ActReset:
+		node := w.nw.Nodes[a.Node]
+		node.Crash()
+		node.SetDown(false)
+		node.Protocol().Start()
+	case ActResetVolatile:
+		node := w.nw.Nodes[a.Node]
+		vr, ok := node.Protocol().(routing.VolatileResetter)
+		if !ok {
+			panic(fmt.Sprintf("modelcheck: %v on protocol without VolatileResetter", a))
+		}
+		node.SetDown(true)
+		vr.ResetVolatile()
+		node.SetDown(false)
+		node.Protocol().Start()
+	case ActOriginate:
+		if a.Flow != w.nextFlow || a.Flow >= len(w.sc.Flows) {
+			panic(fmt.Sprintf("modelcheck: %v out of order (next %d of %d)", a, w.nextFlow, len(w.sc.Flows)))
+		}
+		f := w.sc.Flows[a.Flow]
+		w.nextFlow++
+		w.nw.Nodes[f.Src].OriginateData(f.Dst, originateBytes)
+	default:
+		panic(fmt.Sprintf("modelcheck: unknown action %v", a))
+	}
+	w.drain()
+	w.slot++
+}
+
+// originateBytes is the payload size of model-injected packets; it only
+// matters because it is part of the state encoding and of the witness's
+// scripted traffic.
+const originateBytes = 512
+
+// budgets are the remaining allowances for the fault-flavored actions.
+type budgets struct {
+	drops, dups, resets, vresets int
+}
+
+// enabled enumerates every action applicable in the current state, in a
+// fixed deterministic order: delivers (links sorted by (from, to), queue
+// order), then drops, dups, resets, volatile resets, and finally the next
+// origination. The engine relies on this order being a pure function of
+// the state so that reconstruction by prefix replay stays aligned.
+func (w *world) enabled(b budgets) []Action {
+	n := w.sc.Graph.N
+	var acts []Action
+	forEachPending := func(kind ActionKind) {
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				for idx := range w.pending[from*n+to] {
+					acts = append(acts, Action{Kind: kind, From: routing.NodeID(from), To: routing.NodeID(to), Index: idx})
+				}
+			}
+		}
+	}
+	forEachPending(ActDeliver)
+	if b.drops > 0 {
+		forEachPending(ActDrop)
+	}
+	if b.dups > 0 {
+		forEachPending(ActDup)
+	}
+	if b.resets > 0 {
+		for i := 0; i < n; i++ {
+			acts = append(acts, Action{Kind: ActReset, Node: routing.NodeID(i)})
+		}
+	}
+	if b.vresets > 0 {
+		if _, ok := w.nw.Nodes[0].Protocol().(routing.VolatileResetter); ok {
+			for i := 0; i < n; i++ {
+				acts = append(acts, Action{Kind: ActResetVolatile, Node: routing.NodeID(i)})
+			}
+		}
+	}
+	if w.nextFlow < len(w.sc.Flows) {
+		acts = append(acts, Action{Kind: ActOriginate, Flow: w.nextFlow})
+	}
+	return acts
+}
+
+// tables snapshots every node's routing table for the invariant check,
+// reusing buf (a [][]RouteEntry whose inner slices are reused).
+func (w *world) tables(buf [][]routing.RouteEntry) [][]routing.RouteEntry {
+	n := w.sc.Graph.N
+	if cap(buf) < n {
+		buf = make([][]routing.RouteEntry, n)
+	}
+	buf = buf[:n]
+	for i, node := range w.nw.Nodes {
+		ta, ok := node.Protocol().(routing.TableAppender)
+		if !ok {
+			buf[i] = buf[i][:0]
+			continue
+		}
+		buf[i] = ta.AppendTable(buf[i][:0])
+	}
+	return buf
+}

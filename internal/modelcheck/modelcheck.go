@@ -1,0 +1,352 @@
+// Package modelcheck is an explicit-state bounded model checker for the
+// repository's routing protocols. It drives real protocol instances (the
+// same code the simulator runs) through every message interleaving, loss,
+// duplication, and crash schedule reachable on a small topology within
+// configurable budgets, and checks LDR's loop-freedom and (sn, fd)
+// ordering invariants — through the same loopcheck predicate the runtime
+// auditor uses — at every reachable state. A violation comes back as a
+// minimal action trace plus a conformance-replay seed that reproduces it
+// under the full MAC/radio simulator.
+//
+// The abstraction is protocol-level: no MAC contention, no radio timing,
+// no clock. Messages sit in per-link multisets until a deliver action
+// consumes them; broadcast jitter runs as an immediate microtask;
+// discovery timeouts and cache expiry never fire (the model's clock is
+// frozen at zero). See DESIGN.md for the soundness argument and its
+// caveats.
+package modelcheck
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/ldr/internal/core"
+	"github.com/manetlab/ldr/internal/loopcheck"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// Scenario fixes the model's environment: a topology, a protocol, and an
+// ordered list of data flows the checker may originate (each at most
+// once, in order, at any point in the schedule).
+type Scenario struct {
+	Graph     Graph
+	Protocol  string // "ldr" or "aodv" (any scenario.Factory name with ModelStater support)
+	LDRConfig *core.Config
+	Flows     []Flow
+	Seed      int64 // per-node RNG seed; only jitter draws consume it
+}
+
+// DefaultFlows is the standard sweep workload: every node except the
+// last originates one packet toward the last node. On the 3-node line
+// this is exactly the van Glabbeek et al. construction's traffic
+// pattern.
+func DefaultFlows(g Graph) []Flow {
+	flows := make([]Flow, 0, g.N-1)
+	for i := 0; i < g.N-1; i++ {
+		flows = append(flows, Flow{Src: routing.NodeID(i), Dst: routing.NodeID(g.N - 1)})
+	}
+	return flows
+}
+
+// Options bound the exploration.
+type Options struct {
+	MaxDepth   int // actions per schedule (0 → 12)
+	MaxDrops   int // message-loss budget per schedule
+	MaxDups    int // duplication budget per schedule
+	MaxResets  int // crash-reboot budget (protocol's own persistence rules)
+	MaxVResets int // volatile crash budget (stable storage wiped too)
+	MaxStates  int // distinct-state cap (0 → 2_000_000); exceeding it truncates
+
+	// Progress, when non-nil, is called every ProgressEvery expanded
+	// states (default 5000) and once at the end.
+	Progress      func(Progress)
+	ProgressEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 12
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 2_000_000
+	}
+	if o.ProgressEvery == 0 {
+		o.ProgressEvery = 5000
+	}
+	return o
+}
+
+// Progress is a periodic snapshot of a running exploration.
+type Progress struct {
+	States      int // distinct states found so far
+	Frontier    int // states awaiting expansion
+	Transitions int // transitions executed
+	Depth       int // depth of the state being expanded
+	Elapsed     time.Duration
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Scenario    *Scenario
+	States      int  // distinct reachable states (initial state included)
+	Transitions int  // transitions executed (successor constructions)
+	Depth       int  // deepest layer reached
+	Truncated   bool // hit MaxStates before exhausting the bounded space
+	Violation   *Witness
+	Elapsed     time.Duration
+}
+
+// Witness is a violating schedule: the minimal-length action trace from
+// the initial state to a state breaching an invariant, plus everything
+// the replay layer needs to re-enact it under the full simulator.
+type Witness struct {
+	Scenario   *Scenario
+	Trace      []Action
+	Violations []loopcheck.Violation
+
+	// Captured from the violating world for Spec building.
+	delivered []emission // every delivered crossing, with causal roots
+	drops     []emission // explicitly dropped crossings
+	inflight  []emission // undelivered items still pending at the violation
+}
+
+// String renders the witness trace.
+func (w *Witness) String() string {
+	s := fmt.Sprintf("%s %s: %d-step violation:", w.Scenario.Protocol, w.Scenario.Graph, len(w.Trace))
+	for i, a := range w.Trace {
+		s += fmt.Sprintf("\n  %2d. %s", i, a)
+	}
+	for _, v := range w.Violations {
+		s += "\n  => " + v.Error()
+	}
+	return s
+}
+
+// rec is one discovered state, stored as a back-pointer into the state
+// arena plus the action that produced it; traces are reconstructed by
+// walking parents. Worlds are never stored — protocol state is not
+// copyable, so states are re-materialized by replaying their prefix.
+type rec struct {
+	parent int32
+	depth  int32
+	action Action
+}
+
+// used counts budget consumption along a trace.
+type used struct {
+	drops, dups, resets, vresets int
+}
+
+func countUsed(trace []Action) used {
+	var u used
+	for _, a := range trace {
+		switch a.Kind {
+		case ActDrop:
+			u.drops++
+		case ActDup:
+			u.dups++
+		case ActReset:
+			u.resets++
+		case ActResetVolatile:
+			u.vresets++
+		}
+	}
+	return u
+}
+
+func (o Options) remaining(u used) budgets {
+	return budgets{
+		drops:   o.MaxDrops - u.drops,
+		dups:    o.MaxDups - u.dups,
+		resets:  o.MaxResets - u.resets,
+		vresets: o.MaxVResets - u.vresets,
+	}
+}
+
+// materialize rebuilds the world at the end of trace by replaying it
+// from a fresh initial state. Determinism of newWorld and apply makes
+// this exact.
+func materialize(sc *Scenario, trace []Action) (*world, error) {
+	w, err := newWorld(sc)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range trace {
+		w.apply(a)
+	}
+	return w, nil
+}
+
+// traceOf reconstructs the action trace leading to state idx.
+func traceOf(recs []rec, idx int32) []Action {
+	var n int
+	for i := idx; recs[i].parent >= 0; i = recs[i].parent {
+		n++
+	}
+	trace := make([]Action, n)
+	for i := idx; recs[i].parent >= 0; i = recs[i].parent {
+		n--
+		trace[n] = recs[i].action
+	}
+	return trace
+}
+
+// Supports reports whether the named protocol implements the state
+// hooks (routing.ModelStater) the checker requires. DSR and OLSR do
+// not; sweeps skip them.
+func Supports(protocol string) bool {
+	g := Graph{N: 2, Edges: [][2]int{{0, 1}}, Name: "pair"}
+	sc := &Scenario{Graph: g, Protocol: protocol, Seed: 1, Flows: []Flow{{Src: 0, Dst: 1}}}
+	w, err := newWorld(sc)
+	if err != nil {
+		return false
+	}
+	_, ok := w.nw.Nodes[0].Protocol().(routing.ModelStater)
+	return ok
+}
+
+// Check explores the scenario's bounded state space breadth-first and
+// returns the first invariant violation found (at minimal action depth)
+// or the exhaustive count of clean reachable states.
+func Check(sc *Scenario, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	if sc.Flows == nil {
+		sc.Flows = DefaultFlows(sc.Graph)
+	}
+	if sc.Graph.N < 2 || sc.Graph.N > maxNodes {
+		return nil, fmt.Errorf("modelcheck: graph size %d out of range [2, %d]", sc.Graph.N, maxNodes)
+	}
+	for _, f := range sc.Flows {
+		if int(f.Src) < 0 || int(f.Src) >= sc.Graph.N || int(f.Dst) < 0 || int(f.Dst) >= sc.Graph.N || f.Src == f.Dst {
+			return nil, fmt.Errorf("modelcheck: flow %d->%d invalid for %d nodes", f.Src, f.Dst, sc.Graph.N)
+		}
+	}
+
+	// Symmetry: states are identified under graph automorphisms that fix
+	// every flow endpoint (those nodes have distinguishable roles).
+	var pinned []int
+	for _, f := range sc.Flows {
+		pinned = append(pinned, int(f.Src), int(f.Dst))
+	}
+	enc := newEncoder(sc.Graph.N, automorphisms(sc.Graph, pinned))
+	checker := loopcheck.NewChecker()
+
+	res := &Result{Scenario: sc}
+	w0, err := materialize(sc, nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := w0.nw.Nodes[0].Protocol().(routing.ModelStater); !ok {
+		return nil, fmt.Errorf("modelcheck: protocol %q does not implement routing.ModelStater (have: ldr, aodv)", sc.Protocol)
+	}
+	var tbuf [][]routing.RouteEntry
+	tbuf = w0.tables(tbuf)
+	if v := checker.CheckTables(tbuf); len(v) > 0 {
+		res.States, res.Elapsed = 1, time.Since(start)
+		res.Violation = newWitness(sc, nil, v, w0)
+		return res, nil
+	}
+
+	recs := []rec{{parent: -1}}
+	visited := map[stateKey]struct{}{enc.key(w0, opts.remaining(used{})): {}}
+	queue := []int32{0}
+	res.States = 1
+
+	for head := 0; head < len(queue); head++ {
+		idx := queue[head]
+		depth := int(recs[idx].depth)
+		if depth > res.Depth {
+			res.Depth = depth
+		}
+		if depth >= opts.MaxDepth {
+			continue
+		}
+		trace := traceOf(recs, idx)
+		rem := opts.remaining(countUsed(trace))
+		parent, err := materialize(sc, trace)
+		if err != nil {
+			return nil, err
+		}
+		acts := parent.enabled(rem)
+		for _, a := range acts {
+			child, err := materialize(sc, append(trace[:len(trace):len(trace)], a))
+			if err != nil {
+				return nil, err
+			}
+			res.Transitions++
+			tbuf = child.tables(tbuf)
+			if v := checker.CheckTables(tbuf); len(v) > 0 {
+				res.Elapsed = time.Since(start)
+				res.Violation = newWitness(sc, append(trace[:len(trace):len(trace)], a), v, child)
+				return res, nil
+			}
+			crem := rem
+			switch a.Kind {
+			case ActDrop:
+				crem.drops--
+			case ActDup:
+				crem.dups--
+			case ActReset:
+				crem.resets--
+			case ActResetVolatile:
+				crem.vresets--
+			}
+			k := enc.key(child, crem)
+			if _, ok := visited[k]; ok {
+				continue
+			}
+			if res.States >= opts.MaxStates {
+				res.Truncated = true
+				continue
+			}
+			visited[k] = struct{}{}
+			recs = append(recs, rec{parent: idx, depth: int32(depth + 1), action: a})
+			queue = append(queue, int32(len(recs)-1))
+			res.States++
+		}
+		if opts.Progress != nil && (head+1)%opts.ProgressEvery == 0 {
+			opts.Progress(Progress{
+				States:      res.States,
+				Frontier:    len(queue) - head - 1,
+				Transitions: res.Transitions,
+				Depth:       depth,
+				Elapsed:     time.Since(start),
+			})
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if opts.Progress != nil {
+		opts.Progress(Progress{
+			States:      res.States,
+			Frontier:    0,
+			Transitions: res.Transitions,
+			Depth:       res.Depth,
+			Elapsed:     res.Elapsed,
+		})
+	}
+	return res, nil
+}
+
+// newWitness captures everything Spec building needs from the violating
+// world, so the Witness stays useful after the world is garbage.
+func newWitness(sc *Scenario, trace []Action, v []loopcheck.Violation, w *world) *Witness {
+	wit := &Witness{
+		Scenario:   sc,
+		Trace:      trace,
+		Violations: v,
+		delivered:  append([]emission(nil), w.delLog...),
+		drops:      append([]emission(nil), w.dropLog...),
+	}
+	n := sc.Graph.N
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			for _, m := range w.pending[from*n+to] {
+				wit.inflight = append(wit.inflight, emission{
+					from: routing.NodeID(from), to: routing.NodeID(to), root: m.root,
+				})
+			}
+		}
+	}
+	return wit
+}

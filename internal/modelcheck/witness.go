@@ -1,0 +1,195 @@
+package modelcheck
+
+// Witness extraction: an abstract violating trace becomes a
+// conformance.Spec the full MAC/radio simulator can replay.
+//
+// Time mapping. Each externally scheduled action slot k (originations,
+// resets) maps to virtual time t(k) = 500 ms + k·250 ms — enough spacing
+// that one slot's radio/MAC cascade settles before the next fires.
+// Deliveries need no scheduling: the radio delivers within microseconds,
+// so a whole handler cascade happens at the time of its causal ROOT
+// action, which is why the checker tracks a root slot on every emission
+// (env.go). Message losses become link outages placed by root times:
+//
+//   - a crossing the abstract schedule delivered must get through, so
+//     its link is up at t(root);
+//   - a crossing that was explicitly dropped, or still in flight at the
+//     violation with a root AFTER every delivered root on that link,
+//     must not happen, so the link goes down permanently between the
+//     last delivered root and the first suppressed one (the shape of
+//     the van Glabbeek witness: sever B–D before B's re-solicitation);
+//   - an in-flight crossing with an EARLY root is simply a message the
+//     abstract schedule had not consumed yet — the violation state does
+//     not depend on it, and the replay lets it through.
+//
+// An explicit early drop (interleaved with needed deliveries on the same
+// link at the same root time) cannot be honored by any outage window;
+// the builder emits a best-effort ±120 ms window and flags the Note. The
+// abstract model can also reorder deliveries arbitrarily; the radio
+// cannot. Both are heuristic gaps — the bridge test, which re-runs every
+// committed seed through the full simulator, is the arbiter.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/manetlab/ldr/internal/conformance"
+)
+
+const (
+	slotBase   = 500 * time.Millisecond
+	slotPitch  = 250 * time.Millisecond
+	crashHold  = 100 * time.Millisecond
+	dropWindow = 120 * time.Millisecond
+	witAuditMS = 50
+	specTail   = 1500 * time.Millisecond
+)
+
+// slotTime maps an action slot to replay virtual time. Root -1 (initial
+// protocol start) precedes every slot.
+func slotTime(slot int) time.Duration {
+	if slot < 0 {
+		return 50 * time.Millisecond
+	}
+	return slotBase + time.Duration(slot)*slotPitch
+}
+
+// Spec converts the witness into a committed-seed conformance spec. It
+// fails if the trace uses an action the full simulator cannot express
+// (volatile resets) or the topology has no unit-disk layout.
+func (w *Witness) Spec(note string) (conformance.Spec, error) {
+	g := w.Scenario.Graph
+	pts, err := Layout(g)
+	if err != nil {
+		return conformance.Spec{}, err
+	}
+	script := &conformance.Script{Positions: make([][2]float64, g.N)}
+	for i, p := range pts {
+		script.Positions[i] = [2]float64{p.X, p.Y}
+	}
+
+	lastSlot := len(w.Trace) - 1
+	if lastSlot < 0 {
+		lastSlot = 0
+	}
+	for slot, a := range w.Trace {
+		switch a.Kind {
+		case ActOriginate:
+			f := w.Scenario.Flows[a.Flow]
+			script.Traffic = append(script.Traffic, conformance.ScriptTraffic{
+				AtMS: slotTime(slot).Milliseconds(),
+				Src:  int(f.Src), Dst: int(f.Dst), Bytes: originateBytes,
+			})
+		case ActReset:
+			script.Faults = append(script.Faults, conformance.ScriptFault{
+				Kind: "crash", AtMS: slotTime(slot).Milliseconds(),
+				DurationMS: crashHold.Milliseconds(), Nodes: []int{int(a.Node)},
+			})
+		case ActResetVolatile:
+			return conformance.Spec{}, fmt.Errorf(
+				"modelcheck: witness uses a volatile reset, which the fault injector cannot express")
+		}
+	}
+
+	// Per undirected link: delivered roots (must pass) vs suppressed
+	// roots (must not).
+	type linkTimes struct {
+		up   []int
+		down []emission
+	}
+	links := map[[2]int]*linkTimes{}
+	at := func(a, b int) *linkTimes {
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int{a, b}
+		if links[k] == nil {
+			links[k] = &linkTimes{}
+		}
+		return links[k]
+	}
+	for _, e := range w.delivered {
+		lt := at(int(e.from), int(e.to))
+		lt.up = append(lt.up, e.root)
+	}
+	for _, e := range w.drops {
+		lt := at(int(e.from), int(e.to))
+		lt.down = append(lt.down, e)
+	}
+	for _, e := range w.inflight {
+		lt := at(int(e.from), int(e.to))
+		lt.down = append(lt.down, e)
+	}
+
+	var keys [][2]int
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	approx := false
+	for _, k := range keys {
+		lt := links[k]
+		maxUp := -2 // below root -1, so an all-suppressed link still splits cleanly
+		for _, s := range lt.up {
+			if s > maxUp {
+				maxUp = s
+			}
+		}
+		minLate := -1
+		haveLate := false
+		for _, d := range lt.down {
+			if d.root > maxUp && (!haveLate || d.root < minLate) {
+				minLate, haveLate = d.root, true
+			}
+		}
+		if haveLate {
+			start := slotTime(minLate) - dropWindow
+			if maxUp > -2 {
+				start = (slotTime(maxUp) + slotTime(minLate)) / 2
+			}
+			script.Faults = append(script.Faults, conformance.ScriptFault{
+				Kind: "linkdown", AtMS: start.Milliseconds(),
+				DurationMS: -1, Nodes: []int{k[0], k[1]},
+			})
+		}
+		// Early suppressions: in-flight ones are harmless by construction
+		// (the violation state never consumed them); explicit early drops
+		// get a best-effort window and taint the spec.
+		seen := map[int]bool{}
+		for _, d := range lt.down {
+			if d.root > maxUp || !d.explicit || seen[d.root] {
+				continue
+			}
+			seen[d.root] = true
+			approx = true
+			t := slotTime(d.root)
+			script.Faults = append(script.Faults, conformance.ScriptFault{
+				Kind: "linkdown", AtMS: (t - dropWindow).Milliseconds(),
+				DurationMS: (2 * dropWindow).Milliseconds(), Nodes: []int{k[0], k[1]},
+			})
+		}
+	}
+	if approx {
+		note += " [approximate replay: an explicit drop is interleaved with needed deliveries]"
+	}
+
+	sort.Slice(script.Faults, func(i, j int) bool { return script.Faults[i].AtMS < script.Faults[j].AtMS })
+	end := slotTime(lastSlot) + specTail
+	return conformance.Spec{
+		Protocol:   w.Scenario.Protocol,
+		Nodes:      g.N,
+		Flows:      0,
+		SimTimeSec: end.Seconds(),
+		Seed:       w.Scenario.Seed,
+		Profile:    "none",
+		AuditMS:    witAuditMS,
+		Note:       note,
+		Script:     script,
+	}, nil
+}

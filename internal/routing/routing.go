@@ -5,6 +5,8 @@
 package routing
 
 import (
+	"encoding/binary"
+	"sort"
 	"strconv"
 	"time"
 
@@ -135,6 +137,83 @@ type TableAppender interface {
 	AppendTable(out []RouteEntry) []RouteEntry
 }
 
+// VolatileResetter is Reset without the protocol's stable storage: even
+// the state Reset deliberately persists across a crash (for LDR, the
+// node's own sequence number and the (sn, fd) labels of every known
+// destination — paper §5) is wiped. The bounded model checker
+// (internal/modelcheck) uses it to show the persistence is load-bearing:
+// LDR with volatile resets loses loop freedom on the same schedules its
+// persistent form survives.
+type VolatileResetter interface {
+	ResetVolatile()
+}
+
+// ModelStater is implemented by protocols whose complete protocol-level
+// state can be serialized deterministically, which is what the bounded
+// model checker memoizes states on. The encoding must cover everything
+// that influences future behaviour (tables with labels, duplicate
+// caches, pending buffers, active discoveries, counters) and nothing
+// that does not.
+//
+// mapID relabels node identifiers — the checker canonicalizes states
+// under topology automorphisms by re-encoding through a permutation.
+// Implementations must emit map- and set-valued state sorted by the
+// MAPPED identifiers, so two symmetric states serialize to equal bytes.
+type ModelStater interface {
+	AppendModelState(out []byte, mapID func(NodeID) NodeID) []byte
+}
+
+// AppendPendingModelState serializes a protocol's pending-data map
+// (destination → queued packets, in queue order) for a ModelStater
+// encoding, sorted by the mapped destination. LDR and AODV share the
+// map shape and both use this helper.
+func AppendPendingModelState(out []byte, pending map[NodeID][]*DataPacket, mapID func(NodeID) NodeID) []byte {
+	type prow struct {
+		dst NodeID
+		q   []*DataPacket
+	}
+	rows := make([]prow, 0, len(pending))
+	for dst, q := range pending {
+		rows = append(rows, prow{mapID(dst), q})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].dst < rows[j].dst })
+	out = binary.AppendUvarint(out, uint64(len(rows)))
+	for _, r := range rows {
+		out = binary.AppendVarint(out, int64(r.dst))
+		out = binary.AppendUvarint(out, uint64(len(r.q)))
+		for _, pkt := range r.q {
+			out = binary.AppendVarint(out, int64(mapID(pkt.Src)))
+			out = binary.AppendUvarint(out, pkt.ID)
+			out = binary.AppendVarint(out, int64(pkt.TTL))
+			out = binary.AppendVarint(out, int64(pkt.Bytes))
+		}
+	}
+	return out
+}
+
+// ModelEnv replaces the MAC/radio transport and the protocol's timers
+// when a node runs inside the bounded model checker: outgoing traffic is
+// captured into per-link pending multisets instead of being framed onto
+// the medium, and timers either run as deterministic immediate microtasks
+// (broadcast jitter) or are parked on the node's never-run simulator
+// queue (discovery timeouts, cache expiry), where Cancel still works.
+// See internal/modelcheck for the only implementation.
+type ModelEnv interface {
+	// ModelSendControl captures an outgoing control message. The message
+	// object belongs to the environment until consumed; it is never
+	// recycled back to the protocol's pools (the pools simply allocate).
+	ModelSendControl(from, to NodeID, msg Message)
+	// ModelSendData captures an outgoing data packet. The environment
+	// receives an unpooled deep copy owning a fresh reference chain; the
+	// sender's own reference has already been released.
+	ModelSendData(from, next NodeID, pkt *DataPacket)
+	// ModelSchedule intercepts a protocol timer. handled=true means the
+	// environment queued fn as an immediate microtask (the returned zero
+	// Timer is safely cancellable); handled=false falls through to the
+	// node's simulator queue, which the model never advances.
+	ModelSchedule(delay time.Duration, fn func()) (t sim.Timer, handled bool)
+}
+
 // Resetter is implemented by protocols whose volatile state can be wiped
 // in place, modelling the memory loss of a crash/reboot cycle. Reset
 // cancels the protocol's timers and discards routing state but leaves the
@@ -169,6 +248,7 @@ type Node struct {
 
 	nextPktID uint64
 	down      bool
+	menv      ModelEnv // non-nil only under the bounded model checker
 
 	// Run-local free lists (see internal/runpool): frames and their
 	// netFrame payloads cycle through the MAC; packets cycle through
@@ -221,8 +301,18 @@ func (n *Node) Now() time.Duration { return n.sim.Now() }
 
 // Schedule runs fn after delay of virtual time.
 func (n *Node) Schedule(delay time.Duration, fn func()) sim.Timer {
+	if n.menv != nil {
+		if t, handled := n.menv.ModelSchedule(delay, fn); handled {
+			return t
+		}
+	}
 	return n.sim.Schedule(delay, fn)
 }
+
+// SetModelEnv diverts this node's transport and timers to a model
+// environment (nil restores normal operation). Install before Start;
+// see ModelEnv.
+func (n *Node) SetModelEnv(env ModelEnv) { n.menv = env }
 
 // RNG returns this node's random stream.
 func (n *Node) RNG() *rng.Source { return n.rng }
@@ -290,6 +380,20 @@ func (n *Node) releasePacket(pkt *DataPacket) {
 	}
 }
 
+// CloneDataPacket returns an unpooled deep copy of pkt starting a fresh
+// ownership chain: handing it to a protocol is safe, and every release
+// on it is a no-op (unpooled packets are never recycled). The model
+// checker's abstract transport uses it for link hand-offs and for the
+// duplicate action.
+func CloneDataPacket(pkt *DataPacket) *DataPacket {
+	cp := *pkt
+	cp.SourceRoute = append([]NodeID(nil), pkt.SourceRoute...)
+	cp.Retried = false
+	cp.refs = 1
+	cp.pooled = false
+	return &cp
+}
+
 // PromiscuousFunc receives overheard traffic: frames addressed to other
 // nodes that this node's radio decoded anyway. Exactly one of data/msg is
 // non-nil per call.
@@ -328,6 +432,14 @@ func (n *Node) SetPromiscuous(fn PromiscuousFunc) {
 // second SendControl call.
 func (n *Node) SendControl(to NodeID, msg Message, onFail func()) {
 	n.col.CountControlTransmit(msg.Kind())
+	if n.menv != nil {
+		// Model mode: the environment owns the message from here on.
+		// onFail is dropped — the abstract transport has no MAC feedback,
+		// so unicast failures are unobservable (a soundness caveat the
+		// model checker documents).
+		n.menv.ModelSendControl(n.id, to, msg)
+		return
+	}
 	f, nf := n.newFrame()
 	nf.msg = msg
 	nf.onFail = onFail
@@ -343,6 +455,15 @@ func (n *Node) SendControl(to NodeID, msg Message, onFail func()) {
 func (n *Node) SendData(next NodeID, pkt *DataPacket) {
 	n.col.DataTransmitted++
 	n.trace(TraceForward, pkt, next, 0)
+	if n.menv != nil {
+		// Model mode: an immediate successful hand-off. The environment
+		// gets its own unpooled copy and the sender's ownership ends here,
+		// exactly as a successful MAC acknowledgment would end it.
+		cp := CloneDataPacket(pkt)
+		n.releasePacket(pkt)
+		n.menv.ModelSendData(n.id, next, cp)
+		return
+	}
 	if pkt.pooled {
 		pkt.refs++ // the frame's reference, released with the frame
 	}

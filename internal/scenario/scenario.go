@@ -87,6 +87,24 @@ type Config struct {
 	// radio.DefaultConfig). The conformance replay tests use it to pit
 	// grid fast-path settings against each other on one seed.
 	RadioConfig *radio.Config
+
+	// Positions, when non-empty, replaces the random-waypoint model with
+	// static nodes at these coordinates (len must equal Nodes). Scripted
+	// replays — model-checker witnesses in particular — use it to pin the
+	// exact topology the abstract schedule assumed.
+	Positions []mobility.Point
+
+	// Traffic, when non-empty, replaces the CBR generator with an explicit
+	// origination script (Flows must be 0). Each event injects one data
+	// packet at its source node at the given virtual time.
+	Traffic []TrafficEvent
+}
+
+// TrafficEvent is one scripted data origination.
+type TrafficEvent struct {
+	At       time.Duration
+	Src, Dst routing.NodeID
+	Bytes    int // 0 → 512
 }
 
 // Nodes50 is the paper's 50-node scenario skeleton.
@@ -162,12 +180,20 @@ func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instr
 		return nil, nil, nil, err
 	}
 	root := rng.New(cfg.Seed)
-	model := mobility.NewWaypoint(cfg.Nodes, mobility.WaypointConfig{
-		Terrain:  cfg.Terrain,
-		MinSpeed: cfg.MinSpeed,
-		MaxSpeed: cfg.MaxSpeed,
-		Pause:    cfg.PauseTime,
-	}, root.Split("mobility"))
+	var model mobility.Model
+	if len(cfg.Positions) > 0 {
+		if len(cfg.Positions) != cfg.Nodes {
+			return nil, nil, nil, fmt.Errorf("scenario: %d positions for %d nodes", len(cfg.Positions), cfg.Nodes)
+		}
+		model = mobility.NewStatic(cfg.Positions)
+	} else {
+		model = mobility.NewWaypoint(cfg.Nodes, mobility.WaypointConfig{
+			Terrain:  cfg.Terrain,
+			MinSpeed: cfg.MinSpeed,
+			MaxSpeed: cfg.MaxSpeed,
+			Pause:    cfg.PauseTime,
+		}, root.Split("mobility"))
+	}
 
 	macCfg := mac.DefaultConfig()
 	macCfg.RTSCTSEnabled = cfg.RTSCTS
@@ -177,6 +203,22 @@ func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instr
 	}
 	nw := routing.NewNetwork(cfg.Nodes, model, radioCfg, macCfg, cfg.Seed, factory)
 	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, traffic.DefaultConfig(cfg.Flows, cfg.SimTime), root.Split("traffic"))
+	if len(cfg.Traffic) > 0 {
+		if cfg.Flows != 0 {
+			return nil, nil, nil, fmt.Errorf("scenario: scripted traffic requires Flows=0 (have %d)", cfg.Flows)
+		}
+		for _, ev := range cfg.Traffic {
+			if int(ev.Src) < 0 || int(ev.Src) >= cfg.Nodes || int(ev.Dst) < 0 || int(ev.Dst) >= cfg.Nodes {
+				return nil, nil, nil, fmt.Errorf("scenario: traffic event %d->%d out of range", ev.Src, ev.Dst)
+			}
+			ev := ev
+			bytes := ev.Bytes
+			if bytes == 0 {
+				bytes = 512
+			}
+			nw.Sim.Schedule(ev.At, func() { nw.Nodes[ev.Src].OriginateData(ev.Dst, bytes) })
+		}
+	}
 
 	inst := &Instruments{Root: root}
 	if cfg.AdversaryPlan != nil && len(cfg.AdversaryPlan.Compromises) > 0 {

@@ -3,6 +3,7 @@ package sweep_test
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -46,7 +47,7 @@ func TestRunParallelIdenticalToSerial(t *testing.T) {
 	}
 	for i := range serial {
 		a, b := serial[i], parallel[i]
-		if a.Config != b.Config {
+		if !reflect.DeepEqual(a.Config, b.Config) {
 			t.Fatalf("cell %d: configs differ (results out of order)", i)
 		}
 		ac, bc := a.Collector, b.Collector
