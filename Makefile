@@ -2,11 +2,18 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race fuzz-smoke chaos adversary modelcheck modelcheck-smoke modelcheck-seed bench bench-sweep bench-smoke bench-chaos bench-adversary bench-modelcheck bench-all profile examples experiments clean
+.PHONY: all check ci-quick ci-full build test vet race fuzz-smoke chaos adversary modelcheck modelcheck-smoke modelcheck-seed bench bench-sweep bench-smoke bench-chaos bench-adversary bench-modelcheck bench-gate bench-all profile examples experiments clean
 
 all: check
 
 check: build vet test race fuzz-smoke adversary modelcheck-smoke bench-smoke
+
+# Tiered CI entry points (.github/workflows/ci.yml): ci-quick gates every
+# push, ci-full gates pull requests, and the scheduled nightly job runs
+# `make chaos modelcheck` directly.
+ci-quick: build vet test
+
+ci-full: race fuzz-smoke adversary modelcheck-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -124,6 +131,17 @@ profile:
 		-cpuprofile profiles/ldrbench.cpu.pprof -memprofile profiles/ldrbench.mem.pprof
 	@echo "profiles written: profiles/ldrbench.cpu.pprof profiles/ldrbench.mem.pprof"
 	@echo "inspect: go tool pprof -top profiles/ldrbench.mem.pprof"
+
+# Every benchmark family gated against its committed BENCH_*.json
+# baseline: a >10% B/op or allocs/op regression in any of the four fails
+# the target and leaves that committed baseline untouched. This is CI's
+# bench-gate job.
+bench-gate: bench-sweep bench-modelcheck
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench AttackImpact -benchtime 2x \
+		./internal/adversary/ | tee /dev/stderr | /tmp/benchjson -o BENCH_adversary.json -maxregress 10
+	$(GO) test -run '^$$' -bench AuditOverhead -benchtime 3x \
+		./internal/fault/ | tee /dev/stderr | /tmp/benchjson -o BENCH_chaos.json -maxregress 10
 
 # One benchmark per paper table/figure plus the engine and coordination
 # benches, at reduced scale.

@@ -26,6 +26,7 @@ import (
 
 	"github.com/manetlab/ldr/internal/experiments"
 	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/traffic"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|all, or modelcheck (not in all)")
+		exp     = flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|all, or modelcheck|mobility (not in all)")
 		trials  = flag.Int("trials", 3, "trials (seeds) per configuration; paper: 10")
 		simTime = flag.Duration("simtime", 300*time.Second, "simulated time per run; paper: 900s")
 		seed    = flag.Int64("seed", 1, "base random seed")
@@ -45,6 +46,10 @@ func run() error {
 		workers = flag.Int("workers", 0, "concurrent scenario cells; 0 = GOMAXPROCS, 1 = serial (output is identical either way)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+
+		mobilityModel = flag.String("mobility", "", "mobility model for every cell: waypoint|manhattan|gaussmarkov (default: each experiment's own; -exp mobility sweeps all)")
+		trafficPat    = flag.String("traffic", "", "traffic pattern for every cell: cbr|bursty|reqresp (default cbr)")
+		adaptive      = flag.Bool("adaptive-timeout", false, "derive LDR/AODV route lifetimes from observed RTTs instead of constants")
 	)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
@@ -57,6 +62,8 @@ func run() error {
 		fmt.Fprintf(w, "\nExamples:\n")
 		fmt.Fprintf(w, "  ldrbench -exp table1 -simtime 900s -trials 10   # the paper's full setup\n")
 		fmt.Fprintf(w, "  ldrbench -exp fig3 -protocols ldr,aodv\n")
+		fmt.Fprintf(w, "  ldrbench -exp mobility                          # waypoint vs manhattan vs gaussmarkov\n")
+		fmt.Fprintf(w, "  ldrbench -exp table1 -traffic bursty -adaptive-timeout\n")
 	}
 	flag.Parse()
 
@@ -71,6 +78,12 @@ func run() error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be ≥ 0 (got %d; 0 means GOMAXPROCS)", *workers)
+	}
+	if !scenario.ValidMobility(*mobilityModel) {
+		return fmt.Errorf("-mobility must be one of %v (got %q)", scenario.Mobilities(), *mobilityModel)
+	}
+	if !traffic.ValidPattern(*trafficPat) {
+		return fmt.Errorf("-traffic must be one of %v (got %q)", traffic.Patterns(), *trafficPat)
 	}
 
 	if *cpuProf != "" {
@@ -101,11 +114,14 @@ func run() error {
 	}
 
 	opts := experiments.Options{
-		Trials:   *trials,
-		SimTime:  *simTime,
-		Out:      os.Stdout,
-		BaseSeed: *seed,
-		Workers:  *workers,
+		Trials:          *trials,
+		SimTime:         *simTime,
+		Out:             os.Stdout,
+		BaseSeed:        *seed,
+		Workers:         *workers,
+		Mobility:        *mobilityModel,
+		TrafficPattern:  *trafficPat,
+		AdaptiveTimeout: *adaptive,
 	}
 	if *protos != "" {
 		for _, p := range strings.Split(*protos, ",") {
@@ -142,10 +158,13 @@ func run() error {
 	}
 	// Extra experiments that run only when named: modelcheck is a
 	// bounded-exhaustive state-space sweep (minutes on one core) rather
-	// than a statistical one, so "all" — the paper-regeneration set —
-	// excludes it. See also cmd/ldrcheck for the budget-tunable front end.
+	// than a statistical one, and mobility is a cross-model comparison
+	// from the follow-on MANET literature, so "all" — the
+	// paper-regeneration set — excludes them. See also cmd/ldrcheck for
+	// the budget-tunable model-check front end.
 	extra := []experiment{
 		{"modelcheck", experiments.ModelCheck},
+		{"mobility", experiments.Mobility},
 	}
 
 	if *exp == "all" {

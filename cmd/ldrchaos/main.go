@@ -42,6 +42,7 @@ import (
 	"github.com/manetlab/ldr/internal/experiments"
 	"github.com/manetlab/ldr/internal/fault"
 	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/traffic"
 )
 
 func main() {
@@ -61,6 +62,10 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		audit    = flag.Duration("audit", 100*time.Millisecond, "invariant-audit snapshot cadence; must be > 0")
 		workers  = flag.Int("workers", 0, "concurrent cells; 0 = GOMAXPROCS, 1 = serial (output identical either way)")
+
+		mobilityModel = flag.String("mobility", "", "mobility model for every cell: waypoint|manhattan|gaussmarkov (default waypoint)")
+		trafficPat    = flag.String("traffic", "", "traffic pattern for every cell: cbr|bursty|reqresp (default cbr)")
+		adaptive      = flag.Bool("adaptive-timeout", false, "derive LDR/AODV route lifetimes from observed RTTs instead of constants")
 	)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
@@ -78,6 +83,7 @@ func run() error {
 		fmt.Fprintf(w, "  ldrchaos -protocols ldr,aodv -simtime 900s -trials 10\n")
 		fmt.Fprintf(w, "  ldrchaos -adversary all\n")
 		fmt.Fprintf(w, "  ldrchaos -adversary seqno-forge,storm -protocols ldr,aodv\n")
+		fmt.Fprintf(w, "  ldrchaos -profiles reboot -mobility manhattan -traffic bursty -adaptive-timeout\n")
 	}
 	flag.Parse()
 
@@ -96,14 +102,23 @@ func run() error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be ≥ 0 (got %d; 0 means GOMAXPROCS)", *workers)
 	}
+	if !scenario.ValidMobility(*mobilityModel) {
+		return fmt.Errorf("-mobility must be one of %v (got %q)", scenario.Mobilities(), *mobilityModel)
+	}
+	if !traffic.ValidPattern(*trafficPat) {
+		return fmt.Errorf("-traffic must be one of %v (got %q)", traffic.Patterns(), *trafficPat)
+	}
 
 	opts := experiments.Options{
-		Trials:       *trials,
-		SimTime:      *simTime,
-		Out:          os.Stdout,
-		BaseSeed:     *seed,
-		Workers:      *workers,
-		AuditCadence: *audit,
+		Trials:          *trials,
+		SimTime:         *simTime,
+		Out:             os.Stdout,
+		BaseSeed:        *seed,
+		Workers:         *workers,
+		AuditCadence:    *audit,
+		Mobility:        *mobilityModel,
+		TrafficPattern:  *trafficPat,
+		AdaptiveTimeout: *adaptive,
 	}
 	if *profiles != "" && *adv != "" {
 		return fmt.Errorf("-profiles and -adversary are mutually exclusive (fault suite vs Byzantine suite)")

@@ -3,10 +3,13 @@
 // (initiated == delivered + dropped + in-flight), at-most-once delivery,
 // control-ledger consistency, and — for LDR — loop freedom. Each scenario
 // also draws an adversary profile (Byzantine nodes that blackhole, forge
-// sequence numbers, replay stale labels, or flood storms), so the fuzzer
-// hunts for invariant breaks under attack as well as under faults.
-// Violating scenarios are greedily shrunk (drop flows, drop faults, drop
-// the adversary, shorten simtime) into minimal reproducers and printed as
+// sequence numbers, replay stale labels, or flood storms), a mobility
+// model (waypoint, Manhattan grid, Gauss-Markov), a traffic pattern
+// (CBR, bursty, request-response), and whether adaptive RTT-derived
+// route timeouts are on, so the fuzzer hunts for invariant breaks across
+// the whole scenario-diversity matrix. Violating scenarios are greedily
+// shrunk (drop flows, drop faults, drop the adversary, reset the
+// diversity axes, shorten simtime) into minimal reproducers and printed as
 // JSON specs ready to commit under internal/conformance/testdata/ — or,
 // when the surviving ingredient is the adversary, under
 // internal/adversary/testdata/.
@@ -35,7 +38,18 @@ import (
 	"github.com/manetlab/ldr/internal/conformance"
 	"github.com/manetlab/ldr/internal/fault"
 	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/traffic"
 )
+
+// trafficNames renders the candidate traffic patterns for flag help and
+// error text.
+func trafficNames() string {
+	names := make([]string, 0, len(traffic.Patterns()))
+	for _, p := range traffic.Patterns() {
+		names = append(names, string(p))
+	}
+	return strings.Join(names, ",")
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -52,6 +66,8 @@ func run() error {
 		protocols  = flag.String("protocols", "", "comma-separated protocol subset (default: ldr,aodv,dsr,olsr)")
 		profiles   = flag.String("profiles", "", "comma-separated fault profiles (default: all of "+strings.Join(fault.ProfileNames(), ",")+")")
 		advs       = flag.String("adversaries", "", "comma-separated adversary profiles (default: all of "+strings.Join(adversary.ProfileNames(), ",")+")")
+		mobilities = flag.String("mobilities", "", "comma-separated mobility models to draw from (default: all of "+strings.Join(scenario.Mobilities(), ",")+")")
+		traffics   = flag.String("traffics", "", "comma-separated traffic patterns to draw from (default: all of "+trafficNames()+")")
 		maxNodes   = flag.Int("max-nodes", 30, "node-count upper bound (≥ 8)")
 		maxSimTime = flag.Duration("max-simtime", 45*time.Second, "simulated-length upper bound (≥ 5s)")
 		shrink     = flag.Bool("shrink", true, "minimize findings into small reproducers")
@@ -72,6 +88,7 @@ func run() error {
 		fmt.Fprintf(w, "  ldrfuzz -runs 200 -seed 7\n")
 		fmt.Fprintf(w, "  ldrfuzz -protocols ldr -profiles mayhem -shrink=false\n")
 		fmt.Fprintf(w, "  ldrfuzz -adversaries seqno-forge,byzantine -profiles none\n")
+		fmt.Fprintf(w, "  ldrfuzz -mobilities manhattan,gaussmarkov -traffics bursty,reqresp\n")
 	}
 	flag.Parse()
 
@@ -136,6 +153,24 @@ func run() error {
 				return err
 			}
 			opts.Adversaries = append(opts.Adversaries, name)
+		}
+	}
+	if *mobilities != "" {
+		for _, m := range strings.Split(*mobilities, ",") {
+			name := strings.TrimSpace(m)
+			if name == "" || !scenario.ValidMobility(name) {
+				return fmt.Errorf("-mobilities: must be drawn from %v (got %q)", scenario.Mobilities(), name)
+			}
+			opts.Mobilities = append(opts.Mobilities, name)
+		}
+	}
+	if *traffics != "" {
+		for _, p := range strings.Split(*traffics, ",") {
+			name := strings.TrimSpace(p)
+			if name == "" || !traffic.ValidPattern(name) {
+				return fmt.Errorf("-traffics: must be drawn from [%s] (got %q)", trafficNames(), name)
+			}
+			opts.Traffics = append(opts.Traffics, name)
 		}
 	}
 

@@ -26,6 +26,7 @@ import (
 	"github.com/manetlab/ldr/internal/scenario"
 	"github.com/manetlab/ldr/internal/stats"
 	"github.com/manetlab/ldr/internal/sweep"
+	"github.com/manetlab/ldr/internal/traffic"
 )
 
 func main() {
@@ -48,6 +49,10 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "random seed")
 		trials  = flag.Int("trials", 1, "number of seeds to run, seed..seed+trials-1 (≥ 1)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent runs when trials > 1 (≥ 1; results are identical at any setting)")
+
+		mobilityModel = flag.String("mobility", "waypoint", "mobility model: waypoint|manhattan|gaussmarkov")
+		trafficPat    = flag.String("traffic", "cbr", "traffic pattern: cbr|bursty|reqresp")
+		adaptive      = flag.Bool("adaptive-timeout", false, "derive LDR/AODV route lifetimes from observed RTTs instead of constants")
 	)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
@@ -59,6 +64,7 @@ func run() error {
 		fmt.Fprintf(w, "\nExamples:\n")
 		fmt.Fprintf(w, "  ldrsim -proto ldr -nodes 50 -flows 10 -pause 60s -simtime 300s -seed 1\n")
 		fmt.Fprintf(w, "  ldrsim -proto aodv -trials 10 -workers 4\n")
+		fmt.Fprintf(w, "  ldrsim -proto ldr -mobility manhattan -traffic bursty -adaptive-timeout\n")
 	}
 	flag.Parse()
 
@@ -86,17 +92,26 @@ func run() error {
 	if *speed <= 0 {
 		return fmt.Errorf("-maxspeed must be positive (got %.1f)", *speed)
 	}
+	if !scenario.ValidMobility(*mobilityModel) {
+		return fmt.Errorf("-mobility must be one of %v (got %q)", scenario.Mobilities(), *mobilityModel)
+	}
+	if !traffic.ValidPattern(*trafficPat) {
+		return fmt.Errorf("-traffic must be one of %v (got %q)", traffic.Patterns(), *trafficPat)
+	}
 
 	cfg := scenario.Config{
-		Protocol:  scenario.ProtocolName(*proto),
-		Nodes:     *nodes,
-		Terrain:   mobility.Terrain{Width: *width, Height: *height},
-		Flows:     *flows,
-		PauseTime: *pause,
-		MinSpeed:  1,
-		MaxSpeed:  *speed,
-		SimTime:   *simTime,
-		Seed:      *seed,
+		Protocol:        scenario.ProtocolName(*proto),
+		Nodes:           *nodes,
+		Terrain:         mobility.Terrain{Width: *width, Height: *height},
+		Flows:           *flows,
+		PauseTime:       *pause,
+		MinSpeed:        1,
+		MaxSpeed:        *speed,
+		SimTime:         *simTime,
+		Seed:            *seed,
+		Mobility:        *mobilityModel,
+		TrafficPattern:  traffic.Pattern(*trafficPat),
+		AdaptiveTimeout: *adaptive,
 	}
 
 	if *trials > 1 {

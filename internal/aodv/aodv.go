@@ -59,6 +59,12 @@ type Config struct {
 	RREQRateBurst       int     // bucket depth for RREQ bursts
 	RERRRatePerNeighbor float64 // sustained RERRs/sec accepted per neighbor
 	RERRRateBurst       int     // bucket depth for RERR bursts
+
+	// AdaptiveTimeout derives route lifetimes from observed discovery
+	// round-trip times (routing.RTTEstimator) in place of the constant
+	// ActiveRouteTimeout, which stays as the pre-sample fallback — the
+	// adaptive delay-based timeout scheme from the AODV literature.
+	AdaptiveTimeout bool
 }
 
 // DefaultConfig returns the draft-10 defaults used in the paper's
@@ -180,6 +186,7 @@ type discovery struct {
 	ttl     int
 	retries int
 	timer   sim.Timer
+	sentAt  time.Duration // when the latest RREQ attempt left, for RTT
 }
 
 // AODV is one node's protocol instance.
@@ -200,6 +207,8 @@ type AODV struct {
 
 	rreqLimiter *routing.RateLimiter
 	rerrLimiter *routing.RateLimiter
+
+	rtt *routing.RTTEstimator // nil unless cfg.AdaptiveTimeout
 
 	// Free lists for outgoing control messages (recycled by the node
 	// layer once the carrying frame is released) and a scratch buffer
@@ -222,7 +231,7 @@ var (
 
 // New builds an AODV instance bound to a node.
 func New(node *routing.Node, cfg Config) *AODV {
-	return &AODV{
+	a := &AODV{
 		node:      node,
 		cfg:       cfg,
 		routes:    make(map[routing.NodeID]*entry),
@@ -235,6 +244,23 @@ func New(node *routing.Node, cfg Config) *AODV {
 		rreqLimiter: routing.NewRateLimiter(cfg.RREQRatePerNeighbor, cfg.RREQRateBurst),
 		rerrLimiter: routing.NewRateLimiter(cfg.RERRRatePerNeighbor, cfg.RERRRateBurst),
 	}
+	if cfg.AdaptiveTimeout {
+		a.rtt = routing.NewRTTEstimator()
+	}
+	return a
+}
+
+// RTT exposes the adaptive-timeout estimator (nil when disabled), for
+// tests and experiment diagnostics.
+func (a *AODV) RTT() *routing.RTTEstimator { return a.rtt }
+
+// lifetime returns the route lifetime for a path of hops hops: adaptive
+// when enabled and samples exist, the constant otherwise.
+func (a *AODV) lifetime(hops int) time.Duration {
+	if a.rtt == nil {
+		return a.cfg.ActiveRouteTimeout
+	}
+	return a.rtt.Lifetime(hops, a.cfg.ActiveRouteTimeout)
 }
 
 // Start implements routing.Protocol.
@@ -283,6 +309,9 @@ func (a *AODV) Reset() {
 	a.repairing = make(map[routing.NodeID]bool)
 	a.rreqLimiter.Reset()
 	a.rerrLimiter.Reset()
+	if a.rtt != nil {
+		a.rtt.Reset()
+	}
 }
 
 // WalkHeldData implements routing.HeldDataWalker: the only data packets
@@ -318,7 +347,7 @@ func (a *AODV) sendOrQueue(pkt *routing.DataPacket) {
 	now := a.node.Now()
 	e := a.routes[pkt.Dst]
 	if e.active(now) {
-		e.refresh(now, a.cfg.ActiveRouteTimeout)
+		e.refresh(now, a.lifetime(e.hops))
 		a.node.SendData(e.next, pkt)
 		return
 	}
@@ -492,6 +521,7 @@ func (a *AODV) broadcastRREQ(dst routing.NodeID, d *discovery) {
 		q.UnknownSeq = false
 	}
 	a.node.Metrics().CountControlInitiate(metrics.RREQ)
+	d.sentAt = a.node.Now()
 	a.sendRREQ(routing.BroadcastID, q)
 
 	timeout := 2 * time.Duration(d.ttl) * a.cfg.NodeTraversalTime
@@ -677,6 +707,12 @@ func (a *AODV) handleRREP(from routing.NodeID, p RREP) {
 
 	if p.Origin == me {
 		if d, ok := a.active[p.Dst]; ok && usable {
+			if a.rtt != nil {
+				// One discovery round trip over HopCount+1 hops. A reply
+				// racing a ring retry measures against the latest attempt,
+				// slightly under-reporting — harmless for a windowed mean.
+				a.rtt.Observe(now-d.sentAt, p.HopCount+1)
+			}
 			d.timer.Cancel()
 			delete(a.active, p.Dst)
 		}
@@ -693,7 +729,7 @@ func (a *AODV) handleRREP(from routing.NodeID, p RREP) {
 	if e := a.routes[p.Dst]; e != nil {
 		e.precursor(rev.next)
 	}
-	rev.refresh(now, a.cfg.ActiveRouteTimeout)
+	rev.refresh(now, a.lifetime(rev.hops))
 	a.sendRREP(rev.next, fwd)
 }
 
@@ -741,7 +777,7 @@ func (a *AODV) installReverse(origin routing.NodeID, seq uint32, hops int, via r
 	if e == nil {
 		a.routes[origin] = &entry{
 			seq: seq, haveSeq: true, hops: d, next: via, valid: true,
-			expiry:     now + a.cfg.ActiveRouteTimeout,
+			expiry:     now + a.lifetime(d),
 			precursors: make(map[routing.NodeID]struct{}),
 		}
 		return
@@ -751,7 +787,7 @@ func (a *AODV) installReverse(origin routing.NodeID, seq uint32, hops int, via r
 		e.hops = d
 		e.next = via
 		e.valid = true
-		e.refresh(now, a.cfg.ActiveRouteTimeout)
+		e.refresh(now, a.lifetime(d))
 	}
 }
 

@@ -1,0 +1,114 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/sweep"
+)
+
+// TestDiversityByteIdenticalAcrossWorkers: the new mobility models and
+// traffic patterns must keep the replay guarantee the rest of the suite
+// relies on — same spec, same trace, at any worker count (the
+// TestPoolRecyclingByteIdentical capture-diff pattern applied to the
+// scenario-diversity axes).
+func TestDiversityByteIdenticalAcrossWorkers(t *testing.T) {
+	specs := []Spec{
+		{Protocol: "ldr", Nodes: 12, Flows: 3, SimTimeSec: 6, Seed: 31,
+			Profile: "reboot", Mobility: scenario.Manhattan, Traffic: "bursty"},
+		{Protocol: "aodv", Nodes: 12, Flows: 3, SimTimeSec: 6, Seed: 32,
+			Profile: "mayhem", Mobility: scenario.GaussMarkov, Traffic: "reqresp", Adaptive: true},
+		{Protocol: "ldr", Nodes: 12, Flows: 3, SimTimeSec: 6, Seed: 33,
+			Profile: "none", Mobility: scenario.GaussMarkov, Adaptive: true},
+		{Protocol: "dsr", Nodes: 12, Flows: 3, SimTimeSec: 6, Seed: 34,
+			Profile: "none", Mobility: scenario.Manhattan, Traffic: "reqresp"},
+	}
+	capture := func(workers int) []*Log {
+		logs := make([]*Log, len(specs))
+		err := sweep.Each(len(specs), sweep.Options{Workers: workers}, func(i int) error {
+			cfg, err := specs[i].Config()
+			if err != nil {
+				return err
+			}
+			l, err := Capture(cfg)
+			if err != nil {
+				return err
+			}
+			logs[i] = l
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return logs
+	}
+	serial := capture(1)
+	parallel := capture(4)
+	for i := range specs {
+		if serial[i].Len() == 0 {
+			t.Fatalf("%s: empty trace log", specs[i])
+		}
+		if !bytes.Equal(serial[i].Bytes(), parallel[i].Bytes()) {
+			t.Fatalf("%s diverges across worker counts: %v", specs[i], Diff(serial[i], parallel[i]))
+		}
+	}
+}
+
+// TestLDRCleanAcrossDiversityMatrix: the paper's loop-freedom claim must
+// survive every new mobility × traffic × fault combination, and every
+// run must still satisfy conservation and the vanished-packet census.
+func TestLDRCleanAcrossDiversityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in full mode only")
+	}
+	for _, mob := range scenario.Mobilities() {
+		for _, traf := range []string{"cbr", "bursty", "reqresp"} {
+			for _, profile := range []string{"none", "reboot"} {
+				s := Spec{
+					Protocol: "ldr", Nodes: 15, Flows: 3,
+					SimTimeSec: 8, Seed: 41, Profile: profile,
+					Mobility: mob, Traffic: traf, Adaptive: true,
+					AuditMS: 100,
+				}
+				r, err := CheckSpec(s)
+				if err != nil {
+					t.Fatalf("%s: %v", s, err)
+				}
+				if r.Total > 0 {
+					t.Fatalf("%s: %d conservation violations: %v", s, r.Total, r.Violations)
+				}
+				if r.Collector.LoopViolations > 0 {
+					t.Fatalf("%s: %d loop violations", s, r.Collector.LoopViolations)
+				}
+				if r.Collector.DeliveryRatio() > 1 {
+					t.Fatalf("%s: delivery ratio %.3f > 1", s, r.Collector.DeliveryRatio())
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveTimeoutConservation: adaptive lifetimes change only how
+// long routes live, so the accounting invariants must hold exactly as
+// they do with constant timeouts — for both protocols that implement
+// the option, under faults.
+func TestAdaptiveTimeoutConservation(t *testing.T) {
+	for _, proto := range []string{"ldr", "aodv"} {
+		s := Spec{
+			Protocol: proto, Nodes: 15, Flows: 4,
+			SimTimeSec: 8, Seed: 51, Profile: "mayhem",
+			Adaptive: true, AuditMS: 100,
+		}
+		r, err := CheckSpec(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.Total > 0 {
+			t.Fatalf("%s: %d conservation violations: %v", s, r.Total, r.Violations)
+		}
+		if r.Collector.DeliveryRatio() > 1 {
+			t.Fatalf("%s: delivery ratio %.3f > 1", s, r.Collector.DeliveryRatio())
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/manetlab/ldr/internal/rng"
 	"github.com/manetlab/ldr/internal/scenario"
 	"github.com/manetlab/ldr/internal/sweep"
+	"github.com/manetlab/ldr/internal/traffic"
 )
 
 // Spec is a serializable fuzz scenario: everything needed to rebuild a
@@ -32,6 +33,9 @@ type Spec struct {
 	Seed       int64   `json:"seed"`
 	Profile    string  `json:"profile"`             // fault.ProfileNames entry
 	Adversary  string  `json:"adversary,omitempty"` // adversary.ProfileNames entry
+	Mobility   string  `json:"mobility,omitempty"`  // scenario.Mobilities entry ("" → waypoint)
+	Traffic    string  `json:"traffic,omitempty"`   // traffic pattern ("" → cbr)
+	Adaptive   bool    `json:"adaptive,omitempty"`  // RTT-derived route timeouts
 	AuditMS    int     `json:"audit_ms"`
 	Note       string  `json:"note,omitempty"`
 
@@ -47,8 +51,18 @@ func (s Spec) String() string {
 	if s.Adversary != "" && s.Adversary != "none" {
 		adv = "+" + s.Adversary
 	}
-	return fmt.Sprintf("%s/%s%s nodes=%d flows=%d pause=%.0fs sim=%.0fs seed=%d",
-		s.Protocol, s.Profile, adv, s.Nodes, s.Flows, s.PauseSec, s.SimTimeSec, s.Seed)
+	axes := ""
+	if s.Mobility != "" && s.Mobility != scenario.Waypoint {
+		axes += " mobility=" + s.Mobility
+	}
+	if s.Traffic != "" && s.Traffic != string(traffic.CBR) {
+		axes += " traffic=" + s.Traffic
+	}
+	if s.Adaptive {
+		axes += " adaptive"
+	}
+	return fmt.Sprintf("%s/%s%s nodes=%d flows=%d pause=%.0fs sim=%.0fs seed=%d%s",
+		s.Protocol, s.Profile, adv, s.Nodes, s.Flows, s.PauseSec, s.SimTimeSec, s.Seed, axes)
 }
 
 // Config expands the spec into a runnable scenario configuration. The
@@ -57,18 +71,27 @@ func (s Spec) String() string {
 func (s Spec) Config() (scenario.Config, error) {
 	simTime := time.Duration(s.SimTimeSec * float64(time.Second))
 	cfg := scenario.Config{
-		Protocol:  scenario.ProtocolName(s.Protocol),
-		Nodes:     s.Nodes,
-		Terrain:   mobility.Terrain{Width: float64(40 * s.Nodes), Height: 300},
-		Flows:     s.Flows,
-		PauseTime: time.Duration(s.PauseSec * float64(time.Second)),
-		MinSpeed:  1,
-		MaxSpeed:  20,
-		SimTime:   simTime,
-		Seed:      s.Seed,
+		Protocol:        scenario.ProtocolName(s.Protocol),
+		Nodes:           s.Nodes,
+		Terrain:         mobility.Terrain{Width: float64(40 * s.Nodes), Height: 300},
+		Flows:           s.Flows,
+		PauseTime:       time.Duration(s.PauseSec * float64(time.Second)),
+		MinSpeed:        1,
+		MaxSpeed:        20,
+		SimTime:         simTime,
+		Seed:            s.Seed,
+		Mobility:        s.Mobility,
+		TrafficPattern:  traffic.Pattern(s.Traffic),
+		AdaptiveTimeout: s.Adaptive,
 	}
 	if _, err := scenario.Factory(cfg.Protocol, nil); err != nil {
 		return scenario.Config{}, err
+	}
+	if !scenario.ValidMobility(s.Mobility) {
+		return scenario.Config{}, fmt.Errorf("conformance: unknown mobility %q", s.Mobility)
+	}
+	if !traffic.ValidPattern(s.Traffic) {
+		return scenario.Config{}, fmt.Errorf("conformance: unknown traffic pattern %q", s.Traffic)
 	}
 	if s.Profile != "" && s.Profile != "none" {
 		plan, err := fault.Profile(s.Profile, s.Nodes, simTime)
@@ -152,6 +175,8 @@ type Options struct {
 	Protocols   []string                         // candidate protocols (the paper's four)
 	Profiles    []string                         // candidate fault profiles (all built-ins)
 	Adversaries []string                         // candidate adversary profiles (all built-ins)
+	Mobilities  []string                         // candidate mobility models (all of scenario.Mobilities)
+	Traffics    []string                         // candidate traffic patterns (all of traffic.Patterns)
 	Shrink      bool                             // minimize findings
 	Log         func(format string, args ...any) // progress sink, may be nil
 }
@@ -180,6 +205,14 @@ func (o *Options) defaults() {
 	if len(o.Adversaries) == 0 {
 		o.Adversaries = adversary.ProfileNames()
 	}
+	if len(o.Mobilities) == 0 {
+		o.Mobilities = scenario.Mobilities()
+	}
+	if len(o.Traffics) == 0 {
+		for _, p := range traffic.Patterns() {
+			o.Traffics = append(o.Traffics, string(p))
+		}
+	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
 	}
@@ -207,11 +240,16 @@ func genSpec(o *Options, src *rng.Source) Spec {
 	seed := src.Int63()
 	profile := o.Profiles[src.Intn(len(o.Profiles))]
 	adv := o.Adversaries[src.Intn(len(o.Adversaries))]
+	mob := o.Mobilities[src.Intn(len(o.Mobilities))]
+	traf := o.Traffics[src.Intn(len(o.Traffics))]
+	adaptive := src.Intn(2) == 1
 	audit := 50 + src.Intn(150)
 	return Spec{
 		Protocol: proto, Nodes: nodes, Flows: flows,
 		PauseSec: pause, SimTimeSec: simt, Seed: seed,
-		Profile: profile, Adversary: adv, AuditMS: audit,
+		Profile: profile, Adversary: adv,
+		Mobility: mob, Traffic: traf, Adaptive: adaptive,
+		AuditMS: audit,
 	}
 }
 
@@ -264,10 +302,10 @@ func Fuzz(o Options) ([]Finding, error) {
 
 // Shrink greedily minimizes a violating spec while it keeps violating:
 // halve the flow count, then drop the fault profile, then drop the
-// adversary profile, then halve the simulated time (floor 2 s). Each
-// accepted step re-verifies the
-// violation, so the result is always a genuine reproducer. logf may be
-// nil.
+// adversary profile, then revert mobility/traffic/adaptive-timeout to
+// their waypoint/CBR/constant defaults, then halve the simulated time
+// (floor 2 s). Each accepted step re-verifies the violation, so the
+// result is always a genuine reproducer. logf may be nil.
 func Shrink(s Spec, logf func(string, ...any)) (Spec, Report, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -304,6 +342,21 @@ func Shrink(s Spec, logf func(string, ...any)) (Spec, Report, error) {
 	if best.Adversary != "" && best.Adversary != "none" {
 		cand := best
 		cand.Adversary = "none"
+		try(cand)
+	}
+	if best.Mobility != "" && best.Mobility != scenario.Waypoint {
+		cand := best
+		cand.Mobility = ""
+		try(cand)
+	}
+	if best.Traffic != "" && best.Traffic != string(traffic.CBR) {
+		cand := best
+		cand.Traffic = ""
+		try(cand)
+	}
+	if best.Adaptive {
+		cand := best
+		cand.Adaptive = false
 		try(cand)
 	}
 	for best.SimTimeSec > 2 {

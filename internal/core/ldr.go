@@ -55,6 +55,13 @@ type Config struct {
 	RREQRateBurst       int     // bucket depth for RREQ bursts
 	RERRRatePerNeighbor float64 // sustained RERRs/sec accepted per neighbor
 	RERRRateBurst       int     // bucket depth for RERR bursts
+
+	// AdaptiveTimeout derives route lifetimes from observed discovery
+	// round-trip times (routing.RTTEstimator) instead of the constant
+	// ActiveRouteTimeout, which stays as the pre-sample fallback. Purely
+	// a performance knob: lifetimes only bound how long a route already
+	// admitted by NDC keeps being used, so loop freedom is untouched.
+	AdaptiveTimeout bool
 }
 
 // DefaultConfig returns the configuration used for the paper-reproduction
@@ -119,6 +126,7 @@ type discovery struct {
 	ttl     int
 	retries int // network-wide attempts used
 	timer   sim.Timer
+	sentAt  time.Duration // when the latest RREQ attempt left, for RTT
 }
 
 // LDR is one node's instance of the labeled distance routing protocol.
@@ -137,6 +145,8 @@ type LDR struct {
 
 	rreqLimiter *routing.RateLimiter
 	rerrLimiter *routing.RateLimiter
+
+	rtt *routing.RTTEstimator // nil unless cfg.AdaptiveTimeout
 
 	// Free lists for outgoing control messages (recycled by the node
 	// layer once the carrying frame is released) and a scratch buffer
@@ -159,7 +169,7 @@ var (
 
 // New builds an LDR instance bound to a node.
 func New(node *routing.Node, cfg Config) *LDR {
-	return &LDR{
+	l := &LDR{
 		node:    node,
 		cfg:     cfg,
 		ownSeq:  NewSeqno(1, 0),
@@ -171,6 +181,10 @@ func New(node *routing.Node, cfg Config) *LDR {
 		rreqLimiter: routing.NewRateLimiter(cfg.RREQRatePerNeighbor, cfg.RREQRateBurst),
 		rerrLimiter: routing.NewRateLimiter(cfg.RERRRatePerNeighbor, cfg.RERRRateBurst),
 	}
+	if cfg.AdaptiveTimeout {
+		l.rtt = routing.NewRTTEstimator()
+	}
+	return l
 }
 
 // Start implements routing.Protocol. LDR is purely reactive: nothing
@@ -222,10 +236,26 @@ func (l *LDR) Reset() {
 	l.active = make(map[routing.NodeID]*discovery)
 	l.rreqLimiter.Reset()
 	l.rerrLimiter.Reset()
+	if l.rtt != nil {
+		l.rtt.Reset()
+	}
 }
 
 // OwnSeq exposes the node's own sequence number (for tests and Fig. 7).
 func (l *LDR) OwnSeq() Seqno { return l.ownSeq }
+
+// RTT exposes the adaptive-timeout estimator (nil when disabled), for
+// tests and experiment diagnostics.
+func (l *LDR) RTT() *routing.RTTEstimator { return l.rtt }
+
+// lifetime returns the route lifetime for a path of hops hops: adaptive
+// when enabled and samples exist, the constant otherwise.
+func (l *LDR) lifetime(hops int) time.Duration {
+	if l.rtt == nil {
+		return l.cfg.ActiveRouteTimeout
+	}
+	return l.rtt.Lifetime(hops, l.cfg.ActiveRouteTimeout)
+}
 
 // WalkHeldData implements routing.HeldDataWalker: the only data packets
 // LDR holds are those buffered while route discovery runs.
@@ -267,7 +297,7 @@ func (l *LDR) sendOrQueue(pkt *routing.DataPacket) {
 	now := l.node.Now()
 	e := l.routes.get(pkt.Dst)
 	if e.active(now) {
-		e.refresh(now, l.cfg.ActiveRouteTimeout)
+		e.refresh(now, l.lifetime(e.dist))
 		l.node.SendData(e.next, pkt)
 		return
 	}
@@ -352,7 +382,7 @@ func (l *LDR) linkFailure(next routing.NodeID, pkt *routing.DataPacket) {
 	for dst, e := range l.routes {
 		e.dropAlt(next)
 		if e.valid && e.next == next {
-			if l.cfg.Multipath && e.promoteAlt(l.node.Now(), l.cfg.ActiveRouteTimeout, l.cfg.AltLifetime) {
+			if l.cfg.Multipath && e.promoteAlt(l.node.Now(), l.lifetime(e.dist), l.cfg.AltLifetime) {
 				continue // failover without rediscovery or RERR
 			}
 			e.invalidate()
@@ -446,6 +476,7 @@ func (l *LDR) broadcastRREQ(dst routing.NodeID, d *discovery) {
 		q.FD = e.fd
 	}
 	l.node.Metrics().CountControlInitiate(metrics.RREQ)
+	d.sentAt = l.node.Now()
 	l.sendRREQ(routing.BroadcastID, q)
 
 	timeout := 2 * time.Duration(d.ttl) * l.cfg.NodeTraversalTime
@@ -764,6 +795,12 @@ func (l *LDR) handleRREP(from routing.NodeID, p RREP) {
 		// Terminus: the computation (me, ReqID) ends in success if the
 		// advertisement was feasible here.
 		if d, ok := l.active[p.Dst]; ok && accepted {
+			if l.rtt != nil {
+				// One discovery round trip over p.Dist+1 hops. A reply
+				// racing a ring retry measures against the latest attempt,
+				// slightly under-reporting — harmless for a windowed mean.
+				l.rtt.Observe(now-d.sentAt, p.Dist+1)
+			}
 			d.timer.Cancel()
 			delete(l.active, p.Dst)
 		}
@@ -829,7 +866,7 @@ func (l *LDR) handleRERR(from routing.NodeID, e RERR) {
 		}
 		ent.dropAlt(from)
 		if ent.valid && ent.next == from && ent.seq <= u.Seq {
-			if l.cfg.Multipath && ent.promoteAlt(l.node.Now(), l.cfg.ActiveRouteTimeout, l.cfg.AltLifetime) {
+			if l.cfg.Multipath && ent.promoteAlt(l.node.Now(), l.lifetime(ent.dist), l.cfg.AltLifetime) {
 				continue
 			}
 			ent.invalidate()
@@ -861,7 +898,7 @@ func (l *LDR) acceptAdvertisement(dst routing.NodeID, advSeq Seqno, advDist int,
 	now := l.node.Now()
 	e := l.routes.get(dst)
 	if e == nil {
-		l.routes[dst] = newEntry(advSeq, advDist, via, 1, now, l.cfg.ActiveRouteTimeout)
+		l.routes[dst] = newEntry(advSeq, advDist, via, 1, now, l.lifetime(advDist+1))
 		return true
 	}
 	if !e.ndc(advSeq, advDist) {
@@ -884,7 +921,7 @@ func (l *LDR) acceptAdvertisement(dst routing.NodeID, advSeq Seqno, advDist int,
 		}
 		return false
 	}
-	e.update(advSeq, advDist, via, 1, now, l.cfg.ActiveRouteTimeout)
+	e.update(advSeq, advDist, via, 1, now, l.lifetime(advDist+1))
 	return true
 }
 

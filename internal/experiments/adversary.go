@@ -77,6 +77,7 @@ func Adversary(o Options) error {
 				base := scenario.Nodes50(proto, 10, 0, seed)
 				base.SimTime = o.SimTime
 				base.AuditCadence = o.AuditCadence
+				o.applyDiversity(&base)
 				cfgs = append(cfgs, base)
 
 				attacked := base

@@ -75,6 +75,7 @@ func Chaos(o Options) error {
 					cfg.SimTime = o.SimTime
 					cfg.FaultPlan = &plan
 					cfg.AuditCadence = o.AuditCadence
+					o.applyDiversity(&cfg)
 					cfgs = append(cfgs, cfg)
 				}
 			}

@@ -24,6 +24,7 @@ import (
 	"github.com/manetlab/ldr/internal/scenario"
 	"github.com/manetlab/ldr/internal/stats"
 	"github.com/manetlab/ldr/internal/sweep"
+	"github.com/manetlab/ldr/internal/traffic"
 )
 
 // Options control experiment scale and output.
@@ -50,6 +51,15 @@ type Options struct {
 	// AuditCadence is the continuous-audit snapshot period used by the
 	// Chaos experiment; zero selects 100 ms.
 	AuditCadence time.Duration
+
+	// Mobility, TrafficPattern, and AdaptiveTimeout apply the scenario-
+	// diversity axes to every cell of the experiment being run (""/false
+	// select the paper's waypoint + CBR + constant-timeout setup), so the
+	// chaos and adversary matrices compose with the new models. The
+	// Mobility experiment sweeps models itself and ignores o.Mobility.
+	Mobility        string
+	TrafficPattern  string
+	AdaptiveTimeout bool
 
 	// Progress, when non-nil, receives live cell counters for the sweep
 	// currently running (see sweep.Progress).
@@ -87,6 +97,14 @@ func (o Options) Defaults() Options {
 
 func (o Options) sweepOptions() sweep.Options {
 	return sweep.Options{Workers: o.Workers, Progress: o.Progress}
+}
+
+// applyDiversity stamps the options' scenario-diversity axes onto one
+// cell config.
+func (o Options) applyDiversity(cfg *scenario.Config) {
+	cfg.Mobility = o.Mobility
+	cfg.TrafficPattern = traffic.Pattern(o.TrafficPattern)
+	cfg.AdaptiveTimeout = o.AdaptiveTimeout
 }
 
 // runMetrics is the per-run measurement vector (Table 1's columns).
@@ -166,6 +184,7 @@ func Table1(o Options) error {
 					} {
 						cfg := build(proto, flows, pause, seed)
 						cfg.SimTime = o.SimTime
+						o.applyDiversity(&cfg)
 						cfgs = append(cfgs, cfg)
 					}
 				}
@@ -233,6 +252,7 @@ func DeliveryFigure(o Options, id string, nodes, flows int) error {
 			for _, seed := range o.trialSeeds() {
 				cfg := cell(proto, nodes, flows, pause, seed)
 				cfg.SimTime = o.SimTime
+				o.applyDiversity(&cfg)
 				cfgs = append(cfgs, cfg)
 			}
 		}
@@ -301,6 +321,7 @@ func Fig7(o Options) error {
 				for _, seed := range o.trialSeeds() {
 					cfg := scenario.Nodes50(proto, flows, pause, seed)
 					cfg.SimTime = o.SimTime
+					o.applyDiversity(&cfg)
 					cfgs = append(cfgs, cfg)
 				}
 			}

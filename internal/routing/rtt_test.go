@@ -1,0 +1,85 @@
+package routing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTEstimatorFallbackBeforeSamples(t *testing.T) {
+	e := NewRTTEstimator()
+	if got := e.Lifetime(3, 3*time.Second); got != 3*time.Second {
+		t.Fatalf("empty estimator returned %v, want the fallback", got)
+	}
+	var nilEst *RTTEstimator
+	if got := nilEst.Lifetime(3, 3*time.Second); got != 3*time.Second {
+		t.Fatalf("nil estimator returned %v, want the fallback", got)
+	}
+}
+
+func TestRTTEstimatorScalesWithHopsAndDelay(t *testing.T) {
+	e := NewRTTEstimator()
+	// 240 ms round trip over 3 hops → 40 ms per hop.
+	e.Observe(240*time.Millisecond, 3)
+	short := e.Lifetime(1, 0)
+	long := e.Lifetime(3, 0)
+	if short >= long {
+		t.Fatalf("1-hop lifetime %v not shorter than 3-hop %v", short, long)
+	}
+	if want := 3 * time.Second; long != want {
+		t.Fatalf("3-hop lifetime %v, want %v (25 × 40ms × 3)", long, want)
+	}
+
+	// Faster network → shorter lifetimes, down to the clamp.
+	fast := NewRTTEstimator()
+	fast.Observe(2*time.Millisecond, 1)
+	if got := fast.Lifetime(1, 0); got != time.Second {
+		t.Fatalf("lifetime %v, want the 1s floor", got)
+	}
+	slow := NewRTTEstimator()
+	slow.Observe(10*time.Second, 1)
+	if got := slow.Lifetime(5, 0); got != 10*time.Second {
+		t.Fatalf("lifetime %v, want the 10s ceiling", got)
+	}
+}
+
+func TestRTTEstimatorWindowSlides(t *testing.T) {
+	e := NewRTTEstimator()
+	for i := 0; i < 100; i++ {
+		e.Observe(time.Second, 1) // 500 ms per hop
+	}
+	// The early slow samples must have been evicted by fast ones.
+	for i := 0; i < 20; i++ {
+		e.Observe(80*time.Millisecond, 1) // 40 ms per hop
+	}
+	if got, want := e.Lifetime(3, 0), 3*time.Second; got != want {
+		t.Fatalf("post-slide 3-hop lifetime %v, want %v", got, want)
+	}
+	if e.Samples != 120 {
+		t.Fatalf("Samples = %d, want 120", e.Samples)
+	}
+}
+
+func TestRTTEstimatorIgnoresDegenerateSamples(t *testing.T) {
+	e := NewRTTEstimator()
+	e.Observe(0, 3)
+	e.Observe(-time.Second, 3)
+	e.Observe(time.Second, 0)
+	if e.Samples != 0 {
+		t.Fatalf("degenerate samples were recorded: %d", e.Samples)
+	}
+	if got := e.Lifetime(3, 7*time.Second); got != 7*time.Second {
+		t.Fatalf("lifetime %v, want fallback after only degenerate samples", got)
+	}
+}
+
+func TestRTTEstimatorReset(t *testing.T) {
+	e := NewRTTEstimator()
+	e.Observe(time.Second, 2)
+	e.Reset()
+	if e.Samples != 0 {
+		t.Fatalf("Samples = %d after Reset", e.Samples)
+	}
+	if got := e.Lifetime(2, 4*time.Second); got != 4*time.Second {
+		t.Fatalf("lifetime %v after Reset, want fallback", got)
+	}
+}

@@ -42,6 +42,27 @@ const (
 // AllProtocols are the paper's four protocols in presentation order.
 var AllProtocols = []ProtocolName{LDR, AODV, DSR, OLSR}
 
+// Mobility names the selectable mobility models.
+const (
+	Waypoint    = "waypoint"    // random waypoint (the paper's model)
+	Manhattan   = "manhattan"   // street-grid constrained movement
+	GaussMarkov = "gaussmarkov" // correlated-velocity smooth motion
+)
+
+// Mobilities lists the valid mobility model names, for flag validation
+// and fuzzer draws.
+func Mobilities() []string { return []string{Waypoint, Manhattan, GaussMarkov} }
+
+// ValidMobility reports whether name selects a known mobility model
+// ("" selects random waypoint).
+func ValidMobility(name string) bool {
+	switch name {
+	case "", Waypoint, Manhattan, GaussMarkov:
+		return true
+	}
+	return false
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Protocol  ProtocolName
@@ -53,6 +74,23 @@ type Config struct {
 	MaxSpeed  float64 // m/s
 	SimTime   time.Duration
 	Seed      int64
+
+	// Mobility selects the movement model ("" → random waypoint). The
+	// speed and pause fields above parameterize whichever model runs:
+	// Manhattan pauses at intersections and draws leg speeds from
+	// [MinSpeed, MaxSpeed]; Gauss-Markov reverts to the mid-range speed.
+	// Scripted Positions (below) override the model entirely.
+	Mobility string
+
+	// TrafficPattern selects the workload generator ("" → CBR); see
+	// internal/traffic for the bursty and request-response patterns.
+	TrafficPattern traffic.Pattern
+
+	// AdaptiveTimeout switches LDR and AODV from constant route
+	// lifetimes to RTT-derived ones (routing.RTTEstimator). Ignored by
+	// DSR and OLSR, which have no timeout-driven route expiry of the
+	// same shape, so protocol sweeps can set it unconditionally.
+	AdaptiveTimeout bool
 
 	// RTSCTS enables the MAC's RTS/CTS virtual carrier sensing (off in
 	// the paper's setup; exposed for the MAC-level ablation).
@@ -175,24 +213,14 @@ func Build(cfg Config) (*routing.Network, *traffic.Generator, error) {
 // auditor requested by the config, already scheduled (they start firing
 // when the simulation runs).
 func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instruments, error) {
-	factory, err := Factory(cfg.Protocol, cfg.LDRConfig)
+	factory, err := FactoryFor(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	root := rng.New(cfg.Seed)
-	var model mobility.Model
-	if len(cfg.Positions) > 0 {
-		if len(cfg.Positions) != cfg.Nodes {
-			return nil, nil, nil, fmt.Errorf("scenario: %d positions for %d nodes", len(cfg.Positions), cfg.Nodes)
-		}
-		model = mobility.NewStatic(cfg.Positions)
-	} else {
-		model = mobility.NewWaypoint(cfg.Nodes, mobility.WaypointConfig{
-			Terrain:  cfg.Terrain,
-			MinSpeed: cfg.MinSpeed,
-			MaxSpeed: cfg.MaxSpeed,
-			Pause:    cfg.PauseTime,
-		}, root.Split("mobility"))
+	model, err := buildMobility(cfg, root.Split("mobility"))
+	if err != nil {
+		return nil, nil, nil, err
 	}
 
 	macCfg := mac.DefaultConfig()
@@ -202,7 +230,12 @@ func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instr
 		radioCfg = *cfg.RadioConfig
 	}
 	nw := routing.NewNetwork(cfg.Nodes, model, radioCfg, macCfg, cfg.Seed, factory)
-	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, traffic.DefaultConfig(cfg.Flows, cfg.SimTime), root.Split("traffic"))
+	if !traffic.ValidPattern(string(cfg.TrafficPattern)) {
+		return nil, nil, nil, fmt.Errorf("scenario: unknown traffic pattern %q", cfg.TrafficPattern)
+	}
+	trafficCfg := traffic.DefaultConfig(cfg.Flows, cfg.SimTime)
+	trafficCfg.Pattern = cfg.TrafficPattern
+	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, trafficCfg, root.Split("traffic"))
 	if len(cfg.Traffic) > 0 {
 		if cfg.Flows != 0 {
 			return nil, nil, nil, fmt.Errorf("scenario: scripted traffic requires Flows=0 (have %d)", cfg.Flows)
@@ -267,6 +300,70 @@ func Run(cfg Config) (Result, error) {
 		res.Violations = inst.Auditor.Records
 	}
 	return res, nil
+}
+
+// buildMobility resolves the config's movement model. Scripted Positions
+// take precedence; otherwise the named model is parameterized from the
+// scenario's terrain and speed fields. Every model draws from the same
+// root.Split("mobility") stream, so switching models never perturbs the
+// traffic, MAC, or fault randomness of the run.
+func buildMobility(cfg Config, src *rng.Source) (mobility.Model, error) {
+	if len(cfg.Positions) > 0 {
+		if len(cfg.Positions) != cfg.Nodes {
+			return nil, fmt.Errorf("scenario: %d positions for %d nodes", len(cfg.Positions), cfg.Nodes)
+		}
+		return mobility.NewStatic(cfg.Positions), nil
+	}
+	switch cfg.Mobility {
+	case "", Waypoint:
+		return mobility.NewWaypoint(cfg.Nodes, mobility.WaypointConfig{
+			Terrain:  cfg.Terrain,
+			MinSpeed: cfg.MinSpeed,
+			MaxSpeed: cfg.MaxSpeed,
+			Pause:    cfg.PauseTime,
+		}, src), nil
+	case Manhattan:
+		return mobility.NewManhattan(cfg.Nodes, mobility.ManhattanConfig{
+			Terrain:  cfg.Terrain,
+			MinSpeed: cfg.MinSpeed,
+			MaxSpeed: cfg.MaxSpeed,
+			TurnProb: 0.25,
+			Pause:    cfg.PauseTime,
+			// Alternate full-speed avenues with slower side streets.
+			SpeedClasses: []float64{1, 0.6},
+		}, src), nil
+	case GaussMarkov:
+		return mobility.NewGaussMarkov(cfg.Nodes, mobility.GaussMarkovConfig{
+			Terrain:   cfg.Terrain,
+			MeanSpeed: (cfg.MinSpeed + cfg.MaxSpeed) / 2,
+			MaxSpeed:  cfg.MaxSpeed,
+			Alpha:     0.75,
+		}, src), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown mobility model %q", cfg.Mobility)
+	}
+}
+
+// FactoryFor resolves the protocol factory for a full scenario config,
+// layering config-level protocol options (AdaptiveTimeout) on top of
+// Factory's per-protocol defaults.
+func FactoryFor(cfg Config) (routing.ProtocolFactory, error) {
+	if cfg.AdaptiveTimeout {
+		switch cfg.Protocol {
+		case LDR:
+			c := core.DefaultConfig()
+			if cfg.LDRConfig != nil {
+				c = *cfg.LDRConfig
+			}
+			c.AdaptiveTimeout = true
+			return func(n *routing.Node) routing.Protocol { return core.New(n, c) }, nil
+		case AODV:
+			c := aodv.DefaultConfig()
+			c.AdaptiveTimeout = true
+			return func(n *routing.Node) routing.Protocol { return aodv.New(n, c) }, nil
+		}
+	}
+	return Factory(cfg.Protocol, cfg.LDRConfig)
 }
 
 // Factory returns the protocol constructor for a name. ldrCfg overrides

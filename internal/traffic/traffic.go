@@ -1,9 +1,17 @@
-// Package traffic generates the constant-bit-rate workload used in the
-// paper's evaluation: a fixed number of concurrent CBR flows of 512-byte
-// packets at 4 packets per second, with flow lifetimes drawn from an
-// exponential distribution with a 100-second mean. When a flow ends, a
-// replacement flow with fresh random endpoints starts, keeping the offered
-// load constant (10 flows ≈ 40 pkt/s aggregate, 30 flows ≈ 120 pkt/s).
+// Package traffic generates application workloads for the simulator.
+//
+// The default pattern is the paper's constant-bit-rate evaluation load: a
+// fixed number of concurrent CBR flows of 512-byte packets at 4 packets
+// per second, with flow lifetimes drawn from an exponential distribution
+// with a 100-second mean. When a flow ends, a replacement flow with fresh
+// random endpoints starts, keeping the offered load constant (10 flows ≈
+// 40 pkt/s aggregate, 30 flows ≈ 120 pkt/s).
+//
+// Two further patterns stress routing differently: Bursty gates each flow
+// through exponential on/off periods, so routes go cold and must be
+// re-validated when a burst starts; RequestResponse pairs every request
+// with a reverse-direction reply, exercising bidirectional route state
+// (precursor lists, reverse routes) that one-way CBR never touches.
 package traffic
 
 import (
@@ -14,14 +22,51 @@ import (
 	"github.com/manetlab/ldr/internal/sim"
 )
 
-// Config parameterizes the CBR workload.
+// Pattern names a traffic generation pattern.
+type Pattern string
+
+// The supported patterns.
+const (
+	CBR             Pattern = "cbr"     // constant bit rate (the paper's workload)
+	Bursty          Pattern = "bursty"  // exponential on/off gating of each flow
+	RequestResponse Pattern = "reqresp" // request packets answered by reverse-direction replies
+)
+
+// Patterns lists the valid pattern names, for flag validation and fuzzer
+// draws.
+func Patterns() []Pattern { return []Pattern{CBR, Bursty, RequestResponse} }
+
+// ValidPattern reports whether name is a known pattern ("" selects CBR).
+func ValidPattern(name string) bool {
+	switch Pattern(name) {
+	case "", CBR, Bursty, RequestResponse:
+		return true
+	}
+	return false
+}
+
+// Config parameterizes the workload.
 type Config struct {
+	Pattern      Pattern       // generation pattern; "" selects CBR
 	Flows        int           // concurrent flows
-	PacketBytes  int           // CBR payload size
-	Interval     time.Duration // inter-packet gap within a flow
+	PacketBytes  int           // payload size (requests, CBR packets)
+	Interval     time.Duration // inter-packet gap within a flow / burst
 	MeanFlowLife time.Duration // mean of the exponential flow length
 	Start        time.Duration // workload warm-up offset
 	Stop         time.Duration // no packets are originated after this time
+
+	// Bursty pattern: flows alternate exponential on periods (sending at
+	// Interval) and off periods (silent). Zeros select 2 s on, 3 s off.
+	MeanBurst, MeanGap time.Duration
+
+	// RequestResponse pattern: the source issues PacketBytes-sized
+	// requests at Interval; each request's destination originates a
+	// ResponseBytes reply after ResponseDelay. The reply is scheduled
+	// unconditionally (an application-level model: whether the request
+	// arrived is invisible to the generator), which keeps origination
+	// events a pure function of the seed. Zeros select 1024 B and 30 ms.
+	ResponseBytes int
+	ResponseDelay time.Duration
 }
 
 // DefaultConfig matches the paper: 512-byte packets at 4 pkt/s per flow,
@@ -49,6 +94,21 @@ type Generator struct {
 
 // NewGenerator builds a generator. Call Start to install the flows.
 func NewGenerator(s *sim.Simulator, nodes []*routing.Node, cfg Config, src *rng.Source) *Generator {
+	if cfg.Pattern == "" {
+		cfg.Pattern = CBR
+	}
+	if cfg.MeanBurst <= 0 {
+		cfg.MeanBurst = 2 * time.Second
+	}
+	if cfg.MeanGap <= 0 {
+		cfg.MeanGap = 3 * time.Second
+	}
+	if cfg.ResponseBytes <= 0 {
+		cfg.ResponseBytes = 1024
+	}
+	if cfg.ResponseDelay <= 0 {
+		cfg.ResponseDelay = 30 * time.Millisecond
+	}
 	return &Generator{sim: s, nodes: nodes, cfg: cfg, rng: src}
 }
 
@@ -78,7 +138,14 @@ func (g *Generator) startFlow() {
 		end = g.cfg.Stop
 	}
 	g.FlowsStarted++
-	g.tick(src, dst, end)
+	switch g.cfg.Pattern {
+	case Bursty:
+		g.burstOn(src, dst, end)
+	case RequestResponse:
+		g.reqTick(src, dst, end)
+	default:
+		g.tick(src, dst, end)
+	}
 }
 
 func (g *Generator) tick(src, dst int, end time.Duration) {
@@ -90,4 +157,61 @@ func (g *Generator) tick(src, dst int, end time.Duration) {
 	}
 	g.nodes[src].OriginateData(routing.NodeID(dst), g.cfg.PacketBytes)
 	g.sim.Schedule(g.cfg.Interval, func() { g.tick(src, dst, end) })
+}
+
+// burstOn begins an on period: pick its exponential length, then send at
+// the CBR interval until it expires, after which burstOff idles the flow.
+func (g *Generator) burstOn(src, dst int, end time.Duration) {
+	burstEnd := g.sim.Now() + time.Duration(g.rng.ExpFloat64()*float64(g.cfg.MeanBurst))
+	if burstEnd > end {
+		burstEnd = end
+	}
+	g.burstTick(src, dst, end, burstEnd)
+}
+
+func (g *Generator) burstTick(src, dst int, end, burstEnd time.Duration) {
+	now := g.sim.Now()
+	if now >= end {
+		g.startFlow()
+		return
+	}
+	if now >= burstEnd {
+		g.burstOff(src, dst, end)
+		return
+	}
+	g.nodes[src].OriginateData(routing.NodeID(dst), g.cfg.PacketBytes)
+	g.sim.Schedule(g.cfg.Interval, func() { g.burstTick(src, dst, end, burstEnd) })
+}
+
+// burstOff idles the flow for an exponential gap, long enough for routes
+// to go stale, then starts the next burst.
+func (g *Generator) burstOff(src, dst int, end time.Duration) {
+	gap := time.Duration(g.rng.ExpFloat64() * float64(g.cfg.MeanGap))
+	g.sim.Schedule(gap, func() {
+		if g.sim.Now() >= end {
+			g.startFlow()
+			return
+		}
+		g.burstOn(src, dst, end)
+	})
+}
+
+// reqTick originates one request and schedules the destination's reply.
+// The reply fires whether or not the request is ever delivered: the
+// generator models the application layer, and coupling origination events
+// to delivery outcomes would make the workload depend on routing behavior
+// (breaking replay determinism across protocols and fault schedules).
+func (g *Generator) reqTick(src, dst int, end time.Duration) {
+	now := g.sim.Now()
+	if now >= end {
+		g.startFlow()
+		return
+	}
+	g.nodes[src].OriginateData(routing.NodeID(dst), g.cfg.PacketBytes)
+	g.sim.Schedule(g.cfg.ResponseDelay, func() {
+		if g.sim.Now() < g.cfg.Stop {
+			g.nodes[dst].OriginateData(routing.NodeID(src), g.cfg.ResponseBytes)
+		}
+	})
+	g.sim.Schedule(g.cfg.Interval, func() { g.reqTick(src, dst, end) })
 }

@@ -112,3 +112,103 @@ func TestFlowsRestartToKeepLoadConstant(t *testing.T) {
 		t.Fatalf("initiated %v packets, want ≈ 4800 despite flow churn", got)
 	}
 }
+
+func TestBurstyDutyCycleReducesLoad(t *testing.T) {
+	nw, _ := testNetwork(10)
+	cfg := traffic.DefaultConfig(5, 300*time.Second)
+	cfg.Pattern = traffic.Bursty
+	cfg.MeanBurst = 2 * time.Second
+	cfg.MeanGap = 3 * time.Second
+	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, cfg, rng.New(6))
+	gen.Start()
+	nw.Sim.Run(300 * time.Second)
+
+	// Full CBR would offer 5 × 4 pkt/s × 299 s ≈ 5980 packets; a 2s-on /
+	// 3s-off duty cycle should land near 40% of that. Accept a broad band —
+	// the point is that gating visibly reduces load without silencing it.
+	got := float64(nw.Collector.DataInitiated)
+	if got < 5980*0.2 || got > 5980*0.6 {
+		t.Fatalf("bursty initiated %v packets, want ≈ 40%% of 5980", got)
+	}
+}
+
+func TestRequestResponseGeneratesReplies(t *testing.T) {
+	nw, sinks := testNetwork(10)
+	cfg := traffic.DefaultConfig(3, 60*time.Second)
+	cfg.Pattern = traffic.RequestResponse
+	gen := traffic.NewGenerator(nw.Sim, nw.Nodes, cfg, rng.New(7))
+	gen.Start()
+	nw.Sim.Run(60 * time.Second)
+
+	var requests, responses int
+	pairs := make(map[[2]routing.NodeID]bool)
+	for _, s := range sinks {
+		for _, pkt := range s.originated {
+			if pkt.Bytes == 512 {
+				requests++
+				pairs[[2]routing.NodeID{pkt.Src, pkt.Dst}] = true
+			}
+		}
+	}
+	for _, s := range sinks {
+		for _, pkt := range s.originated {
+			switch pkt.Bytes {
+			case 512:
+			case 1024:
+				responses++
+				if !pairs[[2]routing.NodeID{pkt.Dst, pkt.Src}] {
+					t.Fatalf("response %d→%d has no matching request", pkt.Src, pkt.Dst)
+				}
+			default:
+				t.Fatalf("unexpected packet size %d", pkt.Bytes)
+			}
+		}
+	}
+	if requests == 0 || responses == 0 {
+		t.Fatalf("requests=%d responses=%d, want both nonzero", requests, responses)
+	}
+	// Every request inside the run window gets exactly one reply; only
+	// requests in the final ResponseDelay before Stop can go unanswered.
+	if responses < requests*9/10 {
+		t.Fatalf("%d responses for %d requests", responses, requests)
+	}
+}
+
+func TestPatternsStopOriginatingAtStop(t *testing.T) {
+	for _, pat := range traffic.Patterns() {
+		nw, sinks := testNetwork(6)
+		cfg := traffic.DefaultConfig(3, 30*time.Second)
+		cfg.Pattern = pat
+		gen := traffic.NewGenerator(nw.Sim, nw.Nodes, cfg, rng.New(8))
+		gen.Start()
+		nw.Sim.Run(90 * time.Second)
+		for _, s := range sinks {
+			for _, pkt := range s.originated {
+				if pkt.SentAt >= 30*time.Second {
+					t.Fatalf("%s: packet originated at %v, after the 30s stop", pat, pkt.SentAt)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternsDeterministic(t *testing.T) {
+	for _, pat := range traffic.Patterns() {
+		counts := [2]uint64{}
+		for trial := 0; trial < 2; trial++ {
+			nw, _ := testNetwork(8)
+			cfg := traffic.DefaultConfig(4, 60*time.Second)
+			cfg.Pattern = pat
+			gen := traffic.NewGenerator(nw.Sim, nw.Nodes, cfg, rng.New(9))
+			gen.Start()
+			nw.Sim.Run(60 * time.Second)
+			counts[trial] = nw.Collector.DataInitiated
+		}
+		if counts[0] != counts[1] {
+			t.Fatalf("%s: runs differ: %d vs %d packets", pat, counts[0], counts[1])
+		}
+		if counts[0] == 0 {
+			t.Fatalf("%s originated nothing", pat)
+		}
+	}
+}
