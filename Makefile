@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci-quick ci-full build test vet race fuzz-smoke chaos adversary modelcheck modelcheck-smoke modelcheck-seed bench bench-sweep bench-smoke bench-chaos bench-adversary bench-modelcheck bench-gate bench-all profile examples experiments clean
+.PHONY: all check ci-quick ci-full build test vet race fuzz-smoke fuzz-radio chaos adversary modelcheck modelcheck-smoke modelcheck-seed bench bench-sweep bench-smoke bench-chaos bench-adversary bench-modelcheck bench-gate bench-all profile examples experiments clean
 
 all: check
 
@@ -10,7 +10,7 @@ check: build vet test race fuzz-smoke adversary modelcheck-smoke bench-smoke
 
 # Tiered CI entry points (.github/workflows/ci.yml): ci-quick gates every
 # push, ci-full gates pull requests, and the scheduled nightly job runs
-# `make chaos modelcheck` directly.
+# `make chaos modelcheck fuzz-radio` directly.
 ci-quick: build vet test
 
 ci-full: race fuzz-smoke adversary modelcheck-smoke bench-smoke
@@ -37,6 +37,15 @@ race:
 fuzz-smoke:
 	$(GO) test -race -timeout 30m ./internal/conformance/ -run 'TestRegressionSeeds|TestFuzzSmoke'
 	$(GO) run ./cmd/ldrfuzz -runs 8 -seed 42 -max-nodes 20 -max-simtime 12s -q
+
+# Heterogeneous-radio fuzz axis (nightly): randomized scenarios drawn
+# only from the profiles that produce one-way links and uneven placement,
+# so the MAC ACK-exhaustion and hello-gating paths stay under continuous
+# conservation/census audit.
+fuzz-radio:
+	$(GO) test -race -timeout 30m ./internal/conformance/ -run 'TestHeteroRadioChaosClean|TestAsymAckExhaustAccounted|TestOLSRAsymNoBlackhole'
+	$(GO) run ./cmd/ldrfuzz -runs 24 -seed 7 -max-nodes 24 -max-simtime 15s \
+		-radios mixed,asym -densities gradient,hotspot -q
 
 # The fault-injection suite under the race detector: the van Glabbeek
 # loop reproduction, the per-profile LDR invariant properties, and the

@@ -38,7 +38,7 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|all, or modelcheck|mobility (not in all)")
+		exp     = flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|all, or modelcheck|mobility|radio (not in all)")
 		trials  = flag.Int("trials", 3, "trials (seeds) per configuration; paper: 10")
 		simTime = flag.Duration("simtime", 300*time.Second, "simulated time per run; paper: 900s")
 		seed    = flag.Int64("seed", 1, "base random seed")
@@ -49,6 +49,8 @@ func run() error {
 
 		mobilityModel = flag.String("mobility", "", "mobility model for every cell: waypoint|manhattan|gaussmarkov (default: each experiment's own; -exp mobility sweeps all)")
 		trafficPat    = flag.String("traffic", "", "traffic pattern for every cell: cbr|bursty|reqresp (default cbr)")
+		radioProf     = flag.String("radio", "", "radio profile for every cell: uniform|mixed|asym (default uniform disk; -exp radio sweeps all)")
+		densityProf   = flag.String("density", "", "placement-density profile for every cell: uniform|gradient|hotspot (default uniform; -exp radio sweeps all)")
 		adaptive      = flag.Bool("adaptive-timeout", false, "derive LDR/AODV route lifetimes from observed RTTs instead of constants")
 	)
 	flag.Usage = func() {
@@ -64,6 +66,8 @@ func run() error {
 		fmt.Fprintf(w, "  ldrbench -exp fig3 -protocols ldr,aodv\n")
 		fmt.Fprintf(w, "  ldrbench -exp mobility                          # waypoint vs manhattan vs gaussmarkov\n")
 		fmt.Fprintf(w, "  ldrbench -exp table1 -traffic bursty -adaptive-timeout\n")
+		fmt.Fprintf(w, "  ldrbench -exp radio                             # uniform vs mixed vs asym power, density profiles\n")
+		fmt.Fprintf(w, "  ldrbench -exp fig3 -radio asym -density gradient\n")
 	}
 	flag.Parse()
 
@@ -84,6 +88,12 @@ func run() error {
 	}
 	if !traffic.ValidPattern(*trafficPat) {
 		return fmt.Errorf("-traffic must be one of %v (got %q)", traffic.Patterns(), *trafficPat)
+	}
+	if !scenario.ValidRadio(*radioProf) {
+		return fmt.Errorf("-radio must be one of %v (got %q)", scenario.Radios(), *radioProf)
+	}
+	if !scenario.ValidDensity(*densityProf) {
+		return fmt.Errorf("-density must be one of %v (got %q)", scenario.Densities(), *densityProf)
 	}
 
 	if *cpuProf != "" {
@@ -121,6 +131,8 @@ func run() error {
 		Workers:         *workers,
 		Mobility:        *mobilityModel,
 		TrafficPattern:  *trafficPat,
+		Radio:           *radioProf,
+		Density:         *densityProf,
 		AdaptiveTimeout: *adaptive,
 	}
 	if *protos != "" {
@@ -165,6 +177,7 @@ func run() error {
 	extra := []experiment{
 		{"modelcheck", experiments.ModelCheck},
 		{"mobility", experiments.Mobility},
+		{"radio", experiments.Radio},
 	}
 
 	if *exp == "all" {

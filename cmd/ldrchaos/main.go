@@ -65,6 +65,8 @@ func run() error {
 
 		mobilityModel = flag.String("mobility", "", "mobility model for every cell: waypoint|manhattan|gaussmarkov (default waypoint)")
 		trafficPat    = flag.String("traffic", "", "traffic pattern for every cell: cbr|bursty|reqresp (default cbr)")
+		radioProf     = flag.String("radio", "", "radio profile for every cell: uniform|mixed|asym (default uniform disk)")
+		densityProf   = flag.String("density", "", "placement-density profile for every cell: uniform|gradient|hotspot (default uniform)")
 		adaptive      = flag.Bool("adaptive-timeout", false, "derive LDR/AODV route lifetimes from observed RTTs instead of constants")
 	)
 	flag.Usage = func() {
@@ -84,6 +86,7 @@ func run() error {
 		fmt.Fprintf(w, "  ldrchaos -adversary all\n")
 		fmt.Fprintf(w, "  ldrchaos -adversary seqno-forge,storm -protocols ldr,aodv\n")
 		fmt.Fprintf(w, "  ldrchaos -profiles reboot -mobility manhattan -traffic bursty -adaptive-timeout\n")
+		fmt.Fprintf(w, "  ldrchaos -profiles mayhem -radio mixed -density gradient  # one-way links under faults\n")
 	}
 	flag.Parse()
 
@@ -108,6 +111,12 @@ func run() error {
 	if !traffic.ValidPattern(*trafficPat) {
 		return fmt.Errorf("-traffic must be one of %v (got %q)", traffic.Patterns(), *trafficPat)
 	}
+	if !scenario.ValidRadio(*radioProf) {
+		return fmt.Errorf("-radio must be one of %v (got %q)", scenario.Radios(), *radioProf)
+	}
+	if !scenario.ValidDensity(*densityProf) {
+		return fmt.Errorf("-density must be one of %v (got %q)", scenario.Densities(), *densityProf)
+	}
 
 	opts := experiments.Options{
 		Trials:          *trials,
@@ -118,6 +127,8 @@ func run() error {
 		AuditCadence:    *audit,
 		Mobility:        *mobilityModel,
 		TrafficPattern:  *trafficPat,
+		Radio:           *radioProf,
+		Density:         *densityProf,
 		AdaptiveTimeout: *adaptive,
 	}
 	if *profiles != "" && *adv != "" {

@@ -5,9 +5,12 @@
 // also draws an adversary profile (Byzantine nodes that blackhole, forge
 // sequence numbers, replay stale labels, or flood storms), a mobility
 // model (waypoint, Manhattan grid, Gauss-Markov), a traffic pattern
-// (CBR, bursty, request-response), and whether adaptive RTT-derived
-// route timeouts are on, so the fuzzer hunts for invariant breaks across
-// the whole scenario-diversity matrix. Violating scenarios are greedily
+// (CBR, bursty, request-response), a radio profile (uniform disk, mixed
+// transmit-power classes, asym long/short — the latter two produce
+// one-way links), a placement-density profile (uniform, gradient,
+// hotspot), and whether adaptive RTT-derived route timeouts are on, so
+// the fuzzer hunts for invariant breaks across the whole
+// scenario-diversity matrix. Violating scenarios are greedily
 // shrunk (drop flows, drop faults, drop the adversary, reset the
 // diversity axes, shorten simtime) into minimal reproducers and printed as
 // JSON specs ready to commit under internal/conformance/testdata/ — or,
@@ -68,6 +71,8 @@ func run() error {
 		advs       = flag.String("adversaries", "", "comma-separated adversary profiles (default: all of "+strings.Join(adversary.ProfileNames(), ",")+")")
 		mobilities = flag.String("mobilities", "", "comma-separated mobility models to draw from (default: all of "+strings.Join(scenario.Mobilities(), ",")+")")
 		traffics   = flag.String("traffics", "", "comma-separated traffic patterns to draw from (default: all of "+trafficNames()+")")
+		radios     = flag.String("radios", "", "comma-separated radio profiles to draw from (default: all of "+strings.Join(scenario.Radios(), ",")+")")
+		densities  = flag.String("densities", "", "comma-separated placement-density profiles to draw from (default: all of "+strings.Join(scenario.Densities(), ",")+")")
 		maxNodes   = flag.Int("max-nodes", 30, "node-count upper bound (≥ 8)")
 		maxSimTime = flag.Duration("max-simtime", 45*time.Second, "simulated-length upper bound (≥ 5s)")
 		shrink     = flag.Bool("shrink", true, "minimize findings into small reproducers")
@@ -89,6 +94,7 @@ func run() error {
 		fmt.Fprintf(w, "  ldrfuzz -protocols ldr -profiles mayhem -shrink=false\n")
 		fmt.Fprintf(w, "  ldrfuzz -adversaries seqno-forge,byzantine -profiles none\n")
 		fmt.Fprintf(w, "  ldrfuzz -mobilities manhattan,gaussmarkov -traffics bursty,reqresp\n")
+		fmt.Fprintf(w, "  ldrfuzz -radios mixed,asym -densities gradient,hotspot   # heterogeneous-radio hunt\n")
 	}
 	flag.Parse()
 
@@ -171,6 +177,24 @@ func run() error {
 				return fmt.Errorf("-traffics: must be drawn from [%s] (got %q)", trafficNames(), name)
 			}
 			opts.Traffics = append(opts.Traffics, name)
+		}
+	}
+	if *radios != "" {
+		for _, r := range strings.Split(*radios, ",") {
+			name := strings.TrimSpace(r)
+			if name == "" || !scenario.ValidRadio(name) {
+				return fmt.Errorf("-radios: must be drawn from %v (got %q)", scenario.Radios(), name)
+			}
+			opts.Radios = append(opts.Radios, name)
+		}
+	}
+	if *densities != "" {
+		for _, d := range strings.Split(*densities, ",") {
+			name := strings.TrimSpace(d)
+			if name == "" || !scenario.ValidDensity(name) {
+				return fmt.Errorf("-densities: must be drawn from %v (got %q)", scenario.Densities(), name)
+			}
+			opts.Densities = append(opts.Densities, name)
 		}
 	}
 

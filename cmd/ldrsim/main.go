@@ -52,6 +52,8 @@ func run() error {
 
 		mobilityModel = flag.String("mobility", "waypoint", "mobility model: waypoint|manhattan|gaussmarkov")
 		trafficPat    = flag.String("traffic", "cbr", "traffic pattern: cbr|bursty|reqresp")
+		radioProf     = flag.String("radio", "uniform", "radio profile: uniform|mixed|asym (per-node transmit-power classes)")
+		densityProf   = flag.String("density", "uniform", "placement-density profile: uniform|gradient|hotspot")
 		adaptive      = flag.Bool("adaptive-timeout", false, "derive LDR/AODV route lifetimes from observed RTTs instead of constants")
 	)
 	flag.Usage = func() {
@@ -65,6 +67,7 @@ func run() error {
 		fmt.Fprintf(w, "  ldrsim -proto ldr -nodes 50 -flows 10 -pause 60s -simtime 300s -seed 1\n")
 		fmt.Fprintf(w, "  ldrsim -proto aodv -trials 10 -workers 4\n")
 		fmt.Fprintf(w, "  ldrsim -proto ldr -mobility manhattan -traffic bursty -adaptive-timeout\n")
+		fmt.Fprintf(w, "  ldrsim -proto olsr -radio asym -density gradient  # one-way links, uneven placement\n")
 	}
 	flag.Parse()
 
@@ -98,6 +101,12 @@ func run() error {
 	if !traffic.ValidPattern(*trafficPat) {
 		return fmt.Errorf("-traffic must be one of %v (got %q)", traffic.Patterns(), *trafficPat)
 	}
+	if !scenario.ValidRadio(*radioProf) {
+		return fmt.Errorf("-radio must be one of %v (got %q)", scenario.Radios(), *radioProf)
+	}
+	if !scenario.ValidDensity(*densityProf) {
+		return fmt.Errorf("-density must be one of %v (got %q)", scenario.Densities(), *densityProf)
+	}
 
 	cfg := scenario.Config{
 		Protocol:        scenario.ProtocolName(*proto),
@@ -111,6 +120,8 @@ func run() error {
 		Seed:            *seed,
 		Mobility:        *mobilityModel,
 		TrafficPattern:  traffic.Pattern(*trafficPat),
+		Radio:           *radioProf,
+		Density:         *densityProf,
 		AdaptiveTimeout: *adaptive,
 	}
 

@@ -98,7 +98,7 @@ func run() error {
 	var dump func()
 	dump = func() {
 		now := nw.Sim.Now()
-		g := topology.Snapshot(nw.Medium.Model(), now, nw.Medium.Config().Range)
+		g := topology.SnapshotRanges(nw.Medium.Model(), now, nw.Medium.TxRanges())
 		fmt.Printf("--- t=%v routes toward node %d (graph: %d components, %.0f%% pairs reachable) ---\n",
 			now.Round(time.Millisecond), *dest, g.Components(), 100*g.ReachableFraction())
 		printSuccessors(nw, routing.NodeID(*dest))

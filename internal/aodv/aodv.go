@@ -422,7 +422,32 @@ func (a *AODV) sendRREQ(to routing.NodeID, q RREQ) {
 func (a *AODV) sendRREP(to routing.NodeID, p RREP) {
 	m := a.rrepPool.Get()
 	*m = p
-	a.node.SendControl(to, m, nil)
+	a.node.SendControl(to, m, func() { a.rrepFailed(to) })
+}
+
+// rrepFailed handles a MAC-failed RREP unicast toward next. Reverse
+// routes are installed from broadcast RREQs, which need no return link —
+// so on a one-way link the reply rides a route that never worked, and
+// draft AODV would lose it silently (the bidirectionality assumption the
+// AWN formalization calls out). Treat it as the link failure it is:
+// invalidate every route through next with the usual seqno bump and RERR,
+// so upstream nodes stop soliciting answers across a dead reverse path.
+func (a *AODV) rrepFailed(next routing.NodeID) {
+	if a.stopped {
+		return
+	}
+	broken := a.rerrBuf[:0]
+	for dst, e := range a.routes {
+		if e.valid && e.next == next {
+			e.seq++
+			e.valid = false
+			broken = append(broken, RERRDest{Dst: dst, Seq: e.seq})
+		}
+	}
+	a.rerrBuf = broken[:0]
+	if len(broken) > 0 {
+		a.sendRERR(broken)
+	}
 }
 
 // linkFailure invalidates routes through the broken next hop. AODV

@@ -23,6 +23,13 @@ func TestDiversityByteIdenticalAcrossWorkers(t *testing.T) {
 			Profile: "none", Mobility: scenario.GaussMarkov, Adaptive: true},
 		{Protocol: "dsr", Nodes: 12, Flows: 3, SimTimeSec: 6, Seed: 34,
 			Profile: "none", Mobility: scenario.Manhattan, Traffic: "reqresp"},
+		{Protocol: "ldr", Nodes: 12, Flows: 3, SimTimeSec: 6, Seed: 35,
+			Profile: "reboot", Radio: scenario.RadioMixed, Density: scenario.DensityGradient},
+		{Protocol: "aodv", Nodes: 12, Flows: 3, SimTimeSec: 6, Seed: 36,
+			Profile: "none", Mobility: scenario.GaussMarkov, Traffic: "bursty",
+			Radio: scenario.RadioAsym, Density: scenario.DensityHotspot},
+		{Protocol: "olsr", Nodes: 12, Flows: 3, SimTimeSec: 6, Seed: 37,
+			Profile: "none", Radio: scenario.RadioAsym},
 	}
 	capture := func(workers int) []*Log {
 		logs := make([]*Log, len(specs))
@@ -56,36 +63,80 @@ func TestDiversityByteIdenticalAcrossWorkers(t *testing.T) {
 }
 
 // TestLDRCleanAcrossDiversityMatrix: the paper's loop-freedom claim must
-// survive every new mobility × traffic × fault combination, and every
-// run must still satisfy conservation and the vanished-packet census.
+// survive every new mobility × traffic × fault combination — and every
+// radio × density combination, where one-way links starve hello
+// exchanges and route replies — and every run must still satisfy
+// conservation and the vanished-packet census.
 func TestLDRCleanAcrossDiversityMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix run in full mode only")
 	}
+	check := func(s Spec) {
+		t.Helper()
+		r, err := CheckSpec(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.Total > 0 {
+			t.Fatalf("%s: %d conservation violations: %v", s, r.Total, r.Violations)
+		}
+		if r.Collector.LoopViolations > 0 {
+			t.Fatalf("%s: %d loop violations", s, r.Collector.LoopViolations)
+		}
+		if r.Collector.DeliveryRatio() > 1 {
+			t.Fatalf("%s: delivery ratio %.3f > 1", s, r.Collector.DeliveryRatio())
+		}
+	}
 	for _, mob := range scenario.Mobilities() {
 		for _, traf := range []string{"cbr", "bursty", "reqresp"} {
 			for _, profile := range []string{"none", "reboot"} {
-				s := Spec{
+				check(Spec{
 					Protocol: "ldr", Nodes: 15, Flows: 3,
 					SimTimeSec: 8, Seed: 41, Profile: profile,
 					Mobility: mob, Traffic: traf, Adaptive: true,
 					AuditMS: 100,
-				}
-				r, err := CheckSpec(s)
-				if err != nil {
-					t.Fatalf("%s: %v", s, err)
-				}
-				if r.Total > 0 {
-					t.Fatalf("%s: %d conservation violations: %v", s, r.Total, r.Violations)
-				}
-				if r.Collector.LoopViolations > 0 {
-					t.Fatalf("%s: %d loop violations", s, r.Collector.LoopViolations)
-				}
-				if r.Collector.DeliveryRatio() > 1 {
-					t.Fatalf("%s: delivery ratio %.3f > 1", s, r.Collector.DeliveryRatio())
-				}
+				})
 			}
 		}
+	}
+	for _, rad := range scenario.Radios() {
+		for _, dens := range scenario.Densities() {
+			for _, profile := range []string{"none", "reboot"} {
+				check(Spec{
+					Protocol: "ldr", Nodes: 15, Flows: 3,
+					SimTimeSec: 8, Seed: 42, Profile: profile,
+					Radio: rad, Density: dens, Adaptive: true,
+					AuditMS: 100,
+				})
+			}
+		}
+	}
+}
+
+// TestHeteroRadioChaosClean: the acceptance scenario for the
+// heterogeneous-radio work — mixed transmit-power classes over a
+// density-gradient placement, under the mayhem fault profile, must
+// finish with zero conservation or census violations and zero LDR
+// loop violations even though many links are one-way.
+func TestHeteroRadioChaosClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenario in full mode only")
+	}
+	s := Spec{
+		Protocol: "ldr", Nodes: 25, Flows: 5,
+		SimTimeSec: 12, Seed: 61, Profile: "mayhem",
+		Radio: scenario.RadioMixed, Density: scenario.DensityGradient,
+		AuditMS: 100,
+	}
+	r, err := CheckSpec(s)
+	if err != nil {
+		t.Fatalf("%s: %v", s, err)
+	}
+	if r.Total > 0 {
+		t.Fatalf("%s: %d conservation violations: %v", s, r.Total, r.Violations)
+	}
+	if r.Collector.LoopViolations > 0 {
+		t.Fatalf("%s: %d loop violations", s, r.Collector.LoopViolations)
 	}
 }
 

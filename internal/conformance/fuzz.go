@@ -35,6 +35,8 @@ type Spec struct {
 	Adversary  string  `json:"adversary,omitempty"` // adversary.ProfileNames entry
 	Mobility   string  `json:"mobility,omitempty"`  // scenario.Mobilities entry ("" → waypoint)
 	Traffic    string  `json:"traffic,omitempty"`   // traffic pattern ("" → cbr)
+	Radio      string  `json:"radio,omitempty"`     // scenario.Radios entry ("" → uniform disk)
+	Density    string  `json:"density,omitempty"`   // scenario.Densities entry ("" → uniform placement)
 	Adaptive   bool    `json:"adaptive,omitempty"`  // RTT-derived route timeouts
 	AuditMS    int     `json:"audit_ms"`
 	Note       string  `json:"note,omitempty"`
@@ -57,6 +59,12 @@ func (s Spec) String() string {
 	}
 	if s.Traffic != "" && s.Traffic != string(traffic.CBR) {
 		axes += " traffic=" + s.Traffic
+	}
+	if s.Radio != "" && s.Radio != scenario.RadioUniform {
+		axes += " radio=" + s.Radio
+	}
+	if s.Density != "" && s.Density != scenario.DensityUniform {
+		axes += " density=" + s.Density
 	}
 	if s.Adaptive {
 		axes += " adaptive"
@@ -82,6 +90,8 @@ func (s Spec) Config() (scenario.Config, error) {
 		Seed:            s.Seed,
 		Mobility:        s.Mobility,
 		TrafficPattern:  traffic.Pattern(s.Traffic),
+		Radio:           s.Radio,
+		Density:         s.Density,
 		AdaptiveTimeout: s.Adaptive,
 	}
 	if _, err := scenario.Factory(cfg.Protocol, nil); err != nil {
@@ -92,6 +102,12 @@ func (s Spec) Config() (scenario.Config, error) {
 	}
 	if !traffic.ValidPattern(s.Traffic) {
 		return scenario.Config{}, fmt.Errorf("conformance: unknown traffic pattern %q", s.Traffic)
+	}
+	if !scenario.ValidRadio(s.Radio) {
+		return scenario.Config{}, fmt.Errorf("conformance: unknown radio profile %q", s.Radio)
+	}
+	if !scenario.ValidDensity(s.Density) {
+		return scenario.Config{}, fmt.Errorf("conformance: unknown density profile %q", s.Density)
 	}
 	if s.Profile != "" && s.Profile != "none" {
 		plan, err := fault.Profile(s.Profile, s.Nodes, simTime)
@@ -177,6 +193,8 @@ type Options struct {
 	Adversaries []string                         // candidate adversary profiles (all built-ins)
 	Mobilities  []string                         // candidate mobility models (all of scenario.Mobilities)
 	Traffics    []string                         // candidate traffic patterns (all of traffic.Patterns)
+	Radios      []string                         // candidate radio profiles (all of scenario.Radios)
+	Densities   []string                         // candidate density profiles (all of scenario.Densities)
 	Shrink      bool                             // minimize findings
 	Log         func(format string, args ...any) // progress sink, may be nil
 }
@@ -213,6 +231,12 @@ func (o *Options) defaults() {
 			o.Traffics = append(o.Traffics, string(p))
 		}
 	}
+	if len(o.Radios) == 0 {
+		o.Radios = scenario.Radios()
+	}
+	if len(o.Densities) == 0 {
+		o.Densities = scenario.Densities()
+	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
 	}
@@ -242,13 +266,16 @@ func genSpec(o *Options, src *rng.Source) Spec {
 	adv := o.Adversaries[src.Intn(len(o.Adversaries))]
 	mob := o.Mobilities[src.Intn(len(o.Mobilities))]
 	traf := o.Traffics[src.Intn(len(o.Traffics))]
+	rad := o.Radios[src.Intn(len(o.Radios))]
+	dens := o.Densities[src.Intn(len(o.Densities))]
 	adaptive := src.Intn(2) == 1
 	audit := 50 + src.Intn(150)
 	return Spec{
 		Protocol: proto, Nodes: nodes, Flows: flows,
 		PauseSec: pause, SimTimeSec: simt, Seed: seed,
 		Profile: profile, Adversary: adv,
-		Mobility: mob, Traffic: traf, Adaptive: adaptive,
+		Mobility: mob, Traffic: traf,
+		Radio: rad, Density: dens, Adaptive: adaptive,
 		AuditMS: audit,
 	}
 }
@@ -302,9 +329,9 @@ func Fuzz(o Options) ([]Finding, error) {
 
 // Shrink greedily minimizes a violating spec while it keeps violating:
 // halve the flow count, then drop the fault profile, then drop the
-// adversary profile, then revert mobility/traffic/adaptive-timeout to
-// their waypoint/CBR/constant defaults, then halve the simulated time
-// (floor 2 s). Each accepted step re-verifies the violation, so the
+// adversary profile, then revert mobility/traffic/radio/density/
+// adaptive-timeout to their waypoint/CBR/uniform/uniform/constant
+// defaults, then halve the simulated time (floor 2 s). Each accepted step re-verifies the violation, so the
 // result is always a genuine reproducer. logf may be nil.
 func Shrink(s Spec, logf func(string, ...any)) (Spec, Report, error) {
 	if logf == nil {
@@ -352,6 +379,16 @@ func Shrink(s Spec, logf func(string, ...any)) (Spec, Report, error) {
 	if best.Traffic != "" && best.Traffic != string(traffic.CBR) {
 		cand := best
 		cand.Traffic = ""
+		try(cand)
+	}
+	if best.Radio != "" && best.Radio != scenario.RadioUniform {
+		cand := best
+		cand.Radio = ""
+		try(cand)
+	}
+	if best.Density != "" && best.Density != scenario.DensityUniform {
+		cand := best
+		cand.Density = ""
 		try(cand)
 	}
 	if best.Adaptive {

@@ -1,0 +1,56 @@
+package conformance
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/manetlab/ldr/internal/metrics"
+)
+
+// TestAsymAckExhaustAccounted: on one-way links (long-range transmitter,
+// short-range receiver) unicast data exhausts the MAC's ACK-timeout
+// retries. Those packets must terminate as link-break drops — if the
+// retry-exhaustion path ever stops reporting DataFailed, this seed's
+// drops either vanish (census violation, caught by TestRegressionSeeds)
+// or land under the wrong reason (caught here).
+func TestAsymAckExhaustAccounted(t *testing.T) {
+	s, err := LoadSpec(filepath.Join("testdata", "asym-ack-exhaust.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CheckSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total > 0 {
+		t.Fatalf("%s: %d conservation violations: %v", s, r.Total, r.Violations)
+	}
+	if lb := r.Collector.DroppedBy(metrics.DropLinkBreak); lb == 0 {
+		t.Fatalf("%s: expected ACK-retry-exhaustion drops under DropLinkBreak, got 0", s)
+	}
+}
+
+// TestOLSRAsymNoBlackhole: OLSR's hello gating must keep one-way links
+// out of the symmetric neighbor set. With the asym radio profile the
+// seed still delivers over the mutually-decodable links, and traffic
+// with no bidirectional path fails visibly at the source as no-route —
+// it is never forwarded into a next hop that cannot ACK.
+func TestOLSRAsymNoBlackhole(t *testing.T) {
+	s, err := LoadSpec(filepath.Join("testdata", "olsr-asym-oneway.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CheckSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total > 0 {
+		t.Fatalf("%s: %d conservation violations: %v", s, r.Total, r.Violations)
+	}
+	if r.Collector.DataDelivered == 0 {
+		t.Fatalf("%s: nothing delivered over the usable links", s)
+	}
+	if nr := r.Collector.DroppedBy(metrics.DropNoRoute); nr == 0 {
+		t.Fatalf("%s: expected visible no-route drops for one-way-only destinations, got 0", s)
+	}
+}

@@ -367,7 +367,35 @@ func (l *LDR) sendRREQ(to routing.NodeID, q RREQ) {
 func (l *LDR) sendRREP(to routing.NodeID, p RREP) {
 	m := l.rrepPool.Get()
 	*m = p
-	l.node.SendControl(to, m, nil)
+	l.node.SendControl(to, m, func() { l.rrepFailed(to) })
+}
+
+// rrepFailed handles a MAC-failed RREP unicast toward next: lastHop was
+// recorded from a broadcast RREQ, which needs no return link, so on a
+// one-way link the reply dies after its MAC retries and the reverse path
+// is known-dead. Run the same route-state transitions a data-plane link
+// break triggers — drop fallback successors via next, fail over or
+// invalidate with a RERR — minus the packet salvage (there is no data
+// packet here). Labels are untouched, so NDC feasibility is unaffected.
+func (l *LDR) rrepFailed(next routing.NodeID) {
+	if l.stopped {
+		return
+	}
+	broken := l.rerrBuf[:0]
+	for dst, e := range l.routes {
+		e.dropAlt(next)
+		if e.valid && e.next == next {
+			if l.cfg.Multipath && e.promoteAlt(l.node.Now(), l.lifetime(e.dist), l.cfg.AltLifetime) {
+				continue // failover without rediscovery or RERR
+			}
+			e.invalidate()
+			broken = append(broken, RERRDest{Dst: dst, Seq: e.seq})
+		}
+	}
+	l.rerrBuf = broken[:0]
+	if len(broken) > 0 {
+		l.sendRERR(broken)
+	}
 }
 
 // linkFailure handles a MAC-layer unicast failure toward next: every route

@@ -52,13 +52,17 @@ type Options struct {
 	// Chaos experiment; zero selects 100 ms.
 	AuditCadence time.Duration
 
-	// Mobility, TrafficPattern, and AdaptiveTimeout apply the scenario-
-	// diversity axes to every cell of the experiment being run (""/false
-	// select the paper's waypoint + CBR + constant-timeout setup), so the
-	// chaos and adversary matrices compose with the new models. The
-	// Mobility experiment sweeps models itself and ignores o.Mobility.
+	// Mobility, TrafficPattern, Radio, Density, and AdaptiveTimeout apply
+	// the scenario-diversity axes to every cell of the experiment being
+	// run (""/false select the paper's waypoint + CBR + uniform-disk +
+	// uniform-placement + constant-timeout setup), so the chaos and
+	// adversary matrices compose with the new models. The Mobility
+	// experiment sweeps models itself and ignores o.Mobility; the Radio
+	// experiment likewise sweeps radio and density profiles.
 	Mobility        string
 	TrafficPattern  string
+	Radio           string
+	Density         string
 	AdaptiveTimeout bool
 
 	// Progress, when non-nil, receives live cell counters for the sweep
@@ -104,6 +108,8 @@ func (o Options) sweepOptions() sweep.Options {
 func (o Options) applyDiversity(cfg *scenario.Config) {
 	cfg.Mobility = o.Mobility
 	cfg.TrafficPattern = traffic.Pattern(o.TrafficPattern)
+	cfg.Radio = o.Radio
+	cfg.Density = o.Density
 	cfg.AdaptiveTimeout = o.AdaptiveTimeout
 }
 

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/stats"
+)
+
+// Radio runs the heterogeneous-radio comparison: all four protocols
+// under each transmit-power profile (uniform disk, mixed three-class,
+// asym long/short) and then under each placement-density profile
+// (uniform, gradient, hotspot) at constant motion, reporting delivery,
+// latency, and control overhead per profile plus an explicit protocol
+// ranking line. The asym profile is where bidirectionality assumptions
+// bite: long-range nodes hear neighbors that cannot ACK back, so a
+// protocol that installs routes from overheard traffic alone pays in
+// MAC retry exhaustion and repair churn. The density profiles separate
+// "sparse edge" effects (gradient) from "congested core" effects
+// (hotspot) at a fixed node count.
+func Radio(o Options) error {
+	o = o.Defaults()
+
+	type axis struct {
+		label    string // table header prefix
+		profiles []string
+		apply    func(cfg *scenario.Config, profile string)
+	}
+	axes := []axis{
+		{"radio", scenario.Radios(), func(cfg *scenario.Config, p string) { cfg.Radio = p }},
+		{"density", scenario.Densities(), func(cfg *scenario.Config, p string) { cfg.Density = p }},
+	}
+
+	var cfgs []scenario.Config
+	for _, ax := range axes {
+		for _, profile := range ax.profiles {
+			for _, proto := range o.Protocols {
+				for _, seed := range o.trialSeeds() {
+					cfg := scenario.Nodes50(proto, 30, 0, seed)
+					cfg.SimTime = o.SimTime
+					// The other diversity axes still apply, so e.g.
+					// -mobility manhattan -exp radio composes; the
+					// profile column overrides o.Radio / o.Density.
+					o.applyDiversity(&cfg)
+					ax.apply(&cfg, profile)
+					cfgs = append(cfgs, cfg)
+				}
+			}
+		}
+	}
+	ms, err := runAll(cfgs, o)
+	if err != nil {
+		return err
+	}
+
+	idx := 0
+	for _, ax := range axes {
+		for _, profile := range ax.profiles {
+			fmt.Fprintf(o.Out, "\nRadio — %s=%s (50 nodes, 30 flows, pause 0, %v sim, %d trials)\n",
+				ax.label, profile, o.SimTime, o.Trials)
+			fmt.Fprintf(o.Out, "%-8s %16s %16s %16s\n",
+				"proto", "delivery %", "latency ms", "net load")
+			type row struct {
+				proto    scenario.ProtocolName
+				delivery stats.Summary
+				netLoad  stats.Summary
+			}
+			rows := make([]row, 0, len(o.Protocols))
+			for _, proto := range o.Protocols {
+				s := summarizeRuns(ms[idx : idx+o.Trials])
+				idx += o.Trials
+				fmt.Fprintf(o.Out, "%-8s %s %s %s\n",
+					proto, ci(s.delivery), ci(s.latency), ci(s.netLoad))
+				rows = append(rows, row{proto, s.delivery, s.netLoad})
+			}
+			byDelivery := append([]row(nil), rows...)
+			sort.SliceStable(byDelivery, func(i, j int) bool {
+				return byDelivery[i].delivery.Mean > byDelivery[j].delivery.Mean
+			})
+			byOverhead := append([]row(nil), rows...)
+			sort.SliceStable(byOverhead, func(i, j int) bool {
+				return byOverhead[i].netLoad.Mean < byOverhead[j].netLoad.Mean
+			})
+			fmt.Fprintf(o.Out, "ranking %s=%-10s delivery: %s   overhead: %s\n",
+				ax.label, profile,
+				rankString(byDelivery, func(r row) scenario.ProtocolName { return r.proto }),
+				rankString(byOverhead, func(r row) scenario.ProtocolName { return r.proto }))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package olsr_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/ldr/internal/mac"
+	"github.com/manetlab/ldr/internal/metrics"
+	"github.com/manetlab/ldr/internal/mobility"
+	"github.com/manetlab/ldr/internal/olsr"
+	"github.com/manetlab/ldr/internal/radio"
+	"github.com/manetlab/ldr/internal/routing"
+)
+
+// TestOLSRRefusesOneWayLinks pins the RFC 3626 link-sensing gate against
+// heterogeneous transmit powers: a link becomes symmetric only once a
+// HELLO from the far side lists us in its heard set, so a one-way link
+// (long-range transmitter, short-range receiver) must never enter the
+// routing table — data toward an unreachable destination fails at the
+// source as no-route rather than being forwarded into a next hop that
+// cannot ACK.
+//
+// Topology (classes assigned id%2: even = 375 m range, odd = 150 m):
+//
+//	node 0 (long) —— 120 m —— node 1 (short) —— 270 m —— node 2 (long)
+//
+// 0↔1 is mutual (120 ≤ both ranges). 2→1 is one-way (270 ≤ 375 but
+// 270 > 150). 0 and 2 are 390 m apart — out of even the long range.
+func TestOLSRRefusesOneWayLinks(t *testing.T) {
+	rcfg := radio.DefaultConfig()
+	rcfg.Classes = []radio.Class{
+		{Range: 375, CSRange: 650},
+		{Range: 150, CSRange: 450},
+	}
+	pts := []mobility.Point{{X: 0, Y: 0}, {X: 120, Y: 0}, {X: 390, Y: 0}}
+	nw := routing.NewNetwork(3, mobility.NewStatic(pts), rcfg, mac.DefaultConfig(), 1,
+		func(node *routing.Node) routing.Protocol {
+			return olsr.New(node, olsr.DefaultConfig())
+		})
+	nw.Start()
+	nw.Sim.Run(30 * time.Second)
+
+	p0 := nw.Nodes[0].Protocol().(*olsr.OLSR)
+	p1 := nw.Nodes[1].Protocol().(*olsr.OLSR)
+	p2 := nw.Nodes[2].Protocol().(*olsr.OLSR)
+
+	// The mutual pair must route to each other despite the mixed classes.
+	if _, _, ok := p0.RouteTo(1); !ok {
+		t.Fatal("node 0 has no route to mutual neighbor 1")
+	}
+	if _, _, ok := p1.RouteTo(0); !ok {
+		t.Fatal("node 1 has no route to mutual neighbor 0")
+	}
+
+	// The one-way 2→1 link must never surface as a route anywhere: node 1
+	// hears node 2's HELLOs but node 2 never hears node 1 confirm, so the
+	// link stays asymmetric on node 1's side and unknown on node 2's.
+	for _, c := range []struct {
+		p        *olsr.OLSR
+		from, to routing.NodeID
+	}{
+		{p1, 1, 2}, {p2, 2, 1}, {p0, 0, 2}, {p2, 2, 0},
+	} {
+		if next, _, ok := c.p.RouteTo(c.to); ok {
+			t.Fatalf("node %d routes to %d via %d over a one-way link", c.from, c.to, next)
+		}
+	}
+
+	// Data across the one-way link fails visibly at the source.
+	nw.Sim.At(nw.Sim.Now()+time.Second, func() { nw.Nodes[2].OriginateData(1, 512) })
+	nw.Sim.At(nw.Sim.Now()+time.Second, func() { nw.Nodes[0].OriginateData(1, 512) })
+	nw.Sim.Run(nw.Sim.Now() + 5*time.Second)
+
+	if got := nw.Collector.DroppedBy(metrics.DropNoRoute); got == 0 {
+		t.Fatal("expected a no-route drop for data across the one-way link")
+	}
+	if nw.Collector.DataDelivered == 0 {
+		t.Fatal("mutual-pair data was not delivered")
+	}
+}

@@ -7,9 +7,12 @@ import (
 )
 
 // grid is a uniform spatial hash over node positions, keyed by cells of
-// side cellSize ≥ CSRange + GridSlack. It answers "which nodes could be
-// within CSRange of this point?" by scanning the 3×3 cell neighborhood,
-// replacing the O(N) all-nodes scan in Transmit.
+// side cellSize ≥ max carrier-sense range + GridSlack — the *maximum*
+// over the medium's transmit-power classes, because the 3×3 scan must be
+// exhaustive for the strongest transmitter, not an average one. It
+// answers "which nodes could be within any transmitter's CSRange of this
+// point?" by scanning the 3×3 cell neighborhood, replacing the O(N)
+// all-nodes scan in Transmit.
 //
 // Bucket positions are allowed to go stale for up to Config.GridWindow of
 // virtual time (the medium refreshes every node at least that often, and

@@ -18,21 +18,40 @@ import (
 // oracle computed straight from the mobility model, across random
 // positions, grid-boundary straddlers, and moving nodes.
 
+// classRanges resolves node i's transmit/carrier-sense ranges exactly as
+// the medium documents: Classes[i % len(Classes)] when classes are set,
+// the global Range/CSRange otherwise, with carrier sense clamped to at
+// least the decodable range.
+func classRanges(cfg radio.Config, i int) (tx, cs float64) {
+	tx, cs = cfg.Range, cfg.CSRange
+	if len(cfg.Classes) > 0 {
+		cl := cfg.Classes[i%len(cfg.Classes)]
+		tx, cs = cl.Range, cl.CSRange
+	}
+	if cs < tx {
+		cs = tx
+	}
+	return tx, cs
+}
+
 // oracleSets computes the in-range (decodable) and carrier-sense sets of
-// src from exact model positions at time at.
+// src from exact model positions at time at, using the transmitter's own
+// class ranges (reception is governed by the sender's power, so the sets
+// are directional under mixed classes).
 func oracleSets(model mobility.Model, cfg radio.Config, src int, at time.Duration) (inRange, senses map[int]bool) {
 	inRange = make(map[int]bool)
 	senses = make(map[int]bool)
+	tx, cs := classRanges(cfg, src)
 	p := model.Position(src, at)
 	for i := 0; i < model.NumNodes(); i++ {
 		if i == src {
 			continue
 		}
 		d := p.Dist(model.Position(i, at))
-		if d <= cfg.Range {
+		if d <= tx {
 			inRange[i] = true
 		}
-		if d <= cfg.CSRange {
+		if d <= cs {
 			senses[i] = true
 		}
 	}
@@ -153,6 +172,86 @@ func TestGridMatchesBruteForceBoundaryStraddlers(t *testing.T) {
 	checkTransmits(t, mobility.NewStatic(pts), mobility.NewStatic(pts), cfg, srcs, 100*time.Millisecond)
 }
 
+// mixedConfig is the regression geometry for heterogeneous grid sizing:
+// the global Range/CSRange (which the grid used to be sized from) belong
+// to the *weakest* class, while the strongest class transmits far past
+// it. If cell sizing ever reverts to the global or a non-maximum range,
+// the strong class's far receivers fall outside the 3×3 scan and these
+// oracle comparisons fail.
+func mixedConfig() radio.Config {
+	cfg := radio.DefaultConfig()
+	cfg.Range, cfg.CSRange = 150, 300
+	cfg.Classes = []radio.Class{
+		{Range: 150, CSRange: 300},
+		{Range: 275, CSRange: 550},
+		{Range: 450, CSRange: 900},
+	}
+	return cfg
+}
+
+func TestGridMatchesBruteForceMixedRangesStatic(t *testing.T) {
+	cfg := mixedConfig()
+	r := rng.New(17)
+	for trial := 0; trial < 20; trial++ {
+		pts := make([]mobility.Point, 60)
+		for i := range pts {
+			pts[i] = mobility.Point{X: r.Float64() * 4000, Y: r.Float64() * 3000}
+		}
+		srcs := make([]int, 12)
+		for i := range srcs {
+			srcs[i] = r.Intn(len(pts))
+		}
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			checkTransmits(t, mobility.NewStatic(pts), mobility.NewStatic(pts), cfg, srcs, 100*time.Millisecond)
+		})
+	}
+}
+
+func TestGridMatchesBruteForceMixedRangesBoundary(t *testing.T) {
+	cfg := mixedConfig()
+	cell := 900.0 + 50 // max class CSRange + slack: the correct cell size
+	eps := 1e-9
+	// Straddlers around the *max-range* cell corners, plus exact-distance
+	// receivers at every class's decode and carrier-sense edge. Node ids
+	// cycle through classes (i % 3), so sources of all three classes hit
+	// the degenerate geometry.
+	var pts []mobility.Point
+	for _, cx := range []float64{0, cell, 2 * cell} {
+		for _, cy := range []float64{0, cell} {
+			pts = append(pts,
+				mobility.Point{X: cx, Y: cy},
+				mobility.Point{X: cx - eps, Y: cy},
+				mobility.Point{X: cx + eps, Y: cy},
+				mobility.Point{X: cx + 150, Y: cy}, // weak class decode edge
+				mobility.Point{X: cx + 450, Y: cy}, // strong class decode edge
+				mobility.Point{X: cx + 550, Y: cy}, // mid class CS edge
+				mobility.Point{X: cx + 900, Y: cy}, // strong class CS edge
+				mobility.Point{X: cx + 900 + eps, Y: cy},
+			)
+		}
+	}
+	srcs := make([]int, 0, len(pts))
+	for i := range pts {
+		srcs = append(srcs, i)
+	}
+	checkTransmits(t, mobility.NewStatic(pts), mobility.NewStatic(pts), cfg, srcs, 100*time.Millisecond)
+}
+
+func TestGridMatchesBruteForceMixedRangesMoving(t *testing.T) {
+	cfg := mixedConfig()
+	for seed := int64(1); seed <= 3; seed++ {
+		model, oracle := waypointPair(40, 20, 0, 200+seed)
+		r := rng.New(300 + seed)
+		srcs := make([]int, 200)
+		for i := range srcs {
+			srcs[i] = r.Intn(40)
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			checkTransmits(t, model, oracle, cfg, srcs, 500*time.Millisecond)
+		})
+	}
+}
+
 func waypointPair(n int, maxSpeed float64, pause time.Duration, seed int64) (a, b mobility.Model) {
 	mk := func() mobility.Model {
 		return mobility.NewWaypoint(n, mobility.WaypointConfig{
@@ -229,4 +328,76 @@ func TestNeighborsMatchesBruteForce(t *testing.T) {
 		})
 	}
 	s.RunAll()
+}
+
+// TestDirectionalQueriesMixedRanges pins the directional query API on a
+// hand-placed asymmetric pair and cross-checks ReachableFrom/Neighbors
+// against the brute-force oracle under mixed classes: ReachableFrom is
+// the transmitter-range set, Neighbors only keeps mutually decodable
+// links.
+func TestDirectionalQueriesMixedRanges(t *testing.T) {
+	cfg := radio.DefaultConfig()
+	cfg.Classes = []radio.Class{
+		{Range: 400, CSRange: 800}, // node 0: long
+		{Range: 150, CSRange: 300}, // node 1: short
+	}
+	// 250 m apart: within 0's range, beyond 1's.
+	pts := []mobility.Point{{X: 0, Y: 0}, {X: 250, Y: 0}}
+	s := sim.New()
+	m := radio.New(s, mobility.NewStatic(pts), cfg)
+
+	if !m.InRangeFrom(0, 1) {
+		t.Error("InRangeFrom(0,1): long-range node should reach the short one")
+	}
+	if m.InRangeFrom(1, 0) {
+		t.Error("InRangeFrom(1,0): short-range node must not reach back")
+	}
+	if m.InRange(0, 1) || m.InRange(1, 0) {
+		t.Error("InRange: a one-way pair is not a usable link")
+	}
+	if got := m.ReachableFrom(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("ReachableFrom(0) = %v, want [1]", got)
+	}
+	if got := m.ReachableFrom(1); len(got) != 0 {
+		t.Errorf("ReachableFrom(1) = %v, want []", got)
+	}
+	if got := m.Neighbors(0); len(got) != 0 {
+		t.Errorf("Neighbors(0) = %v, want [] (link is one-way)", got)
+	}
+	if got, want := m.TxRange(0), 400.0; got != want {
+		t.Errorf("TxRange(0) = %v, want %v", got, want)
+	}
+	if got := m.TxRanges(); len(got) != 2 || got[1] != 150 {
+		t.Errorf("TxRanges() = %v, want [400 150]", got)
+	}
+
+	// Randomized cross-check of the directional sets against the oracle.
+	mcfg := mixedConfig()
+	r := rng.New(23)
+	rpts := make([]mobility.Point, 50)
+	for i := range rpts {
+		rpts[i] = mobility.Point{X: r.Float64() * 3000, Y: r.Float64() * 2000}
+	}
+	s2 := sim.New()
+	m2 := radio.New(s2, mobility.NewStatic(rpts), mcfg)
+	oracle := mobility.NewStatic(rpts)
+	var buf []int
+	for id := 0; id < len(rpts); id++ {
+		inRange, _ := oracleSets(oracle, mcfg, id, 0)
+		buf = m2.ReachableFromAppend(id, buf[:0])
+		if len(buf) != len(inRange) {
+			t.Errorf("ReachableFrom(%d): %d entries, oracle %d", id, len(buf), len(inRange))
+		}
+		for _, v := range buf {
+			if !inRange[v] {
+				t.Errorf("ReachableFrom(%d) contains %d, oracle disagrees", id, v)
+			}
+		}
+		for _, v := range m2.Neighbors(id) {
+			back, _ := oracleSets(oracle, mcfg, v, 0)
+			if !inRange[v] || !back[id] {
+				t.Errorf("Neighbors(%d) contains %d but the link is not mutual", id, v)
+			}
+		}
+	}
 }

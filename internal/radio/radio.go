@@ -1,12 +1,16 @@
 // Package radio models the shared wireless medium.
 //
-// The propagation model is a unit disk: a frame transmitted by a node is
-// decodable by every node within Range meters and causes interference at
-// every node within CSRange meters (carrier-sense/interference range). Two
-// signals overlapping in time at a receiver corrupt each other, as does
-// receiving while transmitting. This reproduces the contention behaviour
-// that drives the relative protocol performance in the LDR paper without
-// modelling an explicit PHY.
+// The propagation model is a per-transmitter disk: a frame transmitted by
+// a node is decodable by every node within the *transmitter's* decodable
+// range and causes interference at every node within the transmitter's
+// carrier-sense range. With a single global Range/CSRange (the default)
+// this is the classic symmetric unit disk; with per-class ranges
+// (Config.Classes) links become directional — a long-range node's frames
+// reach a short-range node that can never answer. Two signals overlapping
+// in time at a receiver corrupt each other, as does receiving while
+// transmitting. This reproduces the contention behaviour that drives the
+// relative protocol performance in the LDR paper without modelling an
+// explicit PHY.
 //
 // The paper's simulations use "the MAC layer with a 275 m transmission
 // range" at 2 Mb/s; those are the defaults here.
@@ -25,12 +29,30 @@ import (
 	"github.com/manetlab/ldr/internal/sim"
 )
 
+// Class is one transmit-power class: the decodable and carrier-sense
+// ranges governing every frame sent by a node assigned to it. Reception
+// is decided by the transmitter's class alone — a weak node still hears
+// a strong one from far away — which is what makes mixed classes produce
+// genuinely one-way links.
+type Class struct {
+	Range   float64 // decodable range, meters
+	CSRange float64 // carrier-sense/interference range, meters
+}
+
 // Config parameterizes the medium.
 type Config struct {
 	Range     float64       // decodable range, meters
 	CSRange   float64       // carrier-sense/interference range, meters
 	BitRate   float64       // channel rate, bits per second
 	PropDelay time.Duration // fixed propagation delay
+
+	// Classes, when non-empty, assigns heterogeneous transmit power:
+	// node i sends with Classes[i % len(Classes)] instead of the global
+	// Range/CSRange. The assignment is a pure function of the node id so
+	// enabling classes draws no randomness and cannot perturb any seeded
+	// stream. Empty keeps the uniform disk, byte-identical to a medium
+	// built before classes existed.
+	Classes []Class
 
 	// GridWindow bounds how stale a node's spatial-grid bucket may get:
 	// every node is re-bucketed at least once per window of virtual time.
@@ -107,6 +129,12 @@ type Medium struct {
 	cfg   Config
 	nodes []nodeState
 
+	// Per-node transmit ranges, resolved once from cfg.Classes (or filled
+	// uniformly from cfg.Range/CSRange), so the hot path indexes a slice
+	// instead of re-deriving class membership per frame.
+	txRange []float64
+	csRange []float64
+
 	// Position cache: pos[i] is node i's position at virtual time
 	// posTime[i]. Every lookup in one transmit instant hits the cache, so
 	// Position is computed once per node per instant, not once per
@@ -168,6 +196,14 @@ func New(s *sim.Simulator, model mobility.Model, cfg Config) *Medium {
 	if cfg.CSRange < cfg.Range {
 		cfg.CSRange = cfg.Range
 	}
+	// Clamp per-class carrier sense on a private copy (the caller's slice
+	// stays untouched), mirroring the global clamp above.
+	cfg.Classes = append([]Class(nil), cfg.Classes...)
+	for i := range cfg.Classes {
+		if cfg.Classes[i].CSRange < cfg.Classes[i].Range {
+			cfg.Classes[i].CSRange = cfg.Classes[i].Range
+		}
+	}
 	if cfg.GridWindow <= 0 {
 		cfg.GridWindow = 100 * time.Millisecond
 	}
@@ -175,14 +211,38 @@ func New(s *sim.Simulator, model mobility.Model, cfg Config) *Medium {
 		cfg.GridSlack = 50
 	}
 	n := model.NumNodes()
+	// The grid's 3×3 lookup is exhaustive only if cells are at least as
+	// wide as the largest range any transmitter reaches, so with mixed
+	// classes the cell size must come from the class *maximum* — sizing
+	// it from a class minimum (or the global default) would silently drop
+	// far receivers of the strongest transmitters.
+	maxCS := cfg.CSRange
+	if len(cfg.Classes) > 0 {
+		maxCS = cfg.Classes[0].CSRange
+		for _, c := range cfg.Classes[1:] {
+			if c.CSRange > maxCS {
+				maxCS = c.CSRange
+			}
+		}
+	}
 	m := &Medium{
 		sim:     s,
 		model:   model,
 		cfg:     cfg,
 		nodes:   make([]nodeState, n),
+		txRange: make([]float64, n),
+		csRange: make([]float64, n),
 		pos:     make([]mobility.Point, n),
 		posTime: make([]time.Duration, n),
-		grid:    newGrid(n, cfg.CSRange+cfg.GridSlack),
+		grid:    newGrid(n, maxCS+cfg.GridSlack),
+	}
+	for i := 0; i < n; i++ {
+		r, c := cfg.Range, cfg.CSRange
+		if len(cfg.Classes) > 0 {
+			cl := cfg.Classes[i%len(cfg.Classes)]
+			r, c = cl.Range, cl.CSRange
+		}
+		m.txRange[i], m.csRange[i] = r, c
 	}
 	for i := range m.posTime {
 		m.posTime[i] = -1 // sentinel: no position cached yet
@@ -315,10 +375,10 @@ func (m *Medium) Transmit(src, bits int, payload any) time.Duration {
 			continue
 		}
 		d := srcPos.Dist(m.position(i))
-		if d > m.cfg.CSRange {
+		if d > m.csRange[src] {
 			continue
 		}
-		rc := m.newReception(src, i, d <= m.cfg.Range, payload)
+		rc := m.newReception(src, i, d <= m.txRange[src], payload)
 		ref(payload) // the reception reads the payload until it ends
 		m.sim.ScheduleTransient(m.cfg.PropDelay, m.startFn, rc, 0)
 		m.sim.ScheduleTransient(m.cfg.PropDelay+air, m.endFn, rc, 0)
@@ -396,24 +456,70 @@ func (m *Medium) checkIdle(id int) {
 	st.idleSpare = cbs[:0]
 }
 
-// InRange reports whether two nodes are currently within decodable range,
-// a helper for connectivity analysis in tests and the loop checker.
-func (m *Medium) InRange(a, b int) bool {
-	return m.position(a).Dist(m.position(b)) <= m.cfg.Range
+// TxRange returns node id's decodable transmit range in meters.
+func (m *Medium) TxRange(id int) float64 { return m.txRange[id] }
+
+// TxRanges returns every node's decodable transmit range, indexed by node
+// id. The slice is the medium's own — callers must not mutate it. It
+// feeds the topology oracle's per-node connectivity snapshots.
+func (m *Medium) TxRanges() []float64 { return m.txRange }
+
+// InRangeFrom reports whether dst can currently decode src's
+// transmissions. The predicate is directional: with mixed transmit-power
+// classes InRangeFrom(a, b) says nothing about InRangeFrom(b, a).
+func (m *Medium) InRangeFrom(src, dst int) bool {
+	return m.position(src).Dist(m.position(dst)) <= m.txRange[src]
 }
 
-// Neighbors returns the nodes currently within decodable range of id, in
-// ascending id order. It is an observability helper for analysis tools,
-// not a protocol input.
+// InRange reports whether two nodes can currently decode each other — a
+// usable link, since unicast data needs the return direction for the MAC
+// ACK. With uniform ranges this is the classic symmetric disk predicate.
+func (m *Medium) InRange(a, b int) bool {
+	d := m.position(a).Dist(m.position(b))
+	return d <= m.txRange[a] && d <= m.txRange[b]
+}
+
+// ReachableFrom returns the nodes that can currently decode id's
+// transmissions (id's out-neighbors), in ascending id order. With
+// heterogeneous classes this is NOT the set id can hear from.
+func (m *Medium) ReachableFrom(id int) []int {
+	return m.ReachableFromAppend(id, nil)
+}
+
+// ReachableFromAppend appends id's out-neighbors to out (in ascending id
+// order) and returns the extended slice. Candidates come from the grid,
+// whose cells are sized from the maximum class range, so the scan stays
+// exhaustive for the strongest transmitter.
+func (m *Medium) ReachableFromAppend(id int, out []int) []int {
+	m.maybeRefresh()
+	p := m.position(id)
+	base := len(out)
+	m.cand = m.grid.appendCandidates(p, m.cand[:0])
+	for _, c := range m.cand {
+		i := int(c)
+		if i == id {
+			continue
+		}
+		if p.Dist(m.position(i)) <= m.txRange[id] {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out[base:])
+	return out
+}
+
+// Neighbors returns the nodes id currently shares a usable (mutually
+// decodable) link with, in ascending id order. It is an observability
+// helper for analysis tools, not a protocol input.
 func (m *Medium) Neighbors(id int) []int {
 	return m.NeighborsAppend(id, nil)
 }
 
-// NeighborsAppend appends the nodes currently within decodable range of
-// id to out (in ascending id order) and returns the extended slice,
+// NeighborsAppend appends the nodes id currently shares a usable link
+// with to out (in ascending id order) and returns the extended slice,
 // allowing callers that poll connectivity (loop checkers, topology
 // oracles) to reuse one buffer across calls instead of allocating per
-// query.
+// query. Under uniform ranges this is exactly the old within-Range set.
 func (m *Medium) NeighborsAppend(id int, out []int) []int {
 	m.maybeRefresh()
 	p := m.position(id)
@@ -424,7 +530,7 @@ func (m *Medium) NeighborsAppend(id int, out []int) []int {
 		if i == id {
 			continue
 		}
-		if p.Dist(m.position(i)) <= m.cfg.Range {
+		if d := p.Dist(m.position(i)); d <= m.txRange[id] && d <= m.txRange[i] {
 			out = append(out, i)
 		}
 	}

@@ -63,6 +63,76 @@ func ValidMobility(name string) bool {
 	return false
 }
 
+// Radio names the selectable transmit-power profiles. Classes are
+// assigned per node id (i % len(classes), see radio.Config.Classes), so
+// a profile is a pure function of the node count — no randomness drawn.
+const (
+	RadioUniform = "uniform" // every node at the paper's 275 m disk
+	RadioMixed   = "mixed"   // three interleaved classes around the default
+	RadioAsym    = "asym"    // alternating long/short classes, maximizing one-way links
+)
+
+// Radios lists the valid radio profile names, for flag validation and
+// fuzzer draws.
+func Radios() []string { return []string{RadioUniform, RadioMixed, RadioAsym} }
+
+// ValidRadio reports whether name selects a known radio profile
+// ("" selects the uniform disk).
+func ValidRadio(name string) bool {
+	switch name {
+	case "", RadioUniform, RadioMixed, RadioAsym:
+		return true
+	}
+	return false
+}
+
+// RadioClasses maps a radio profile name to its transmit-power classes;
+// nil means the uniform single-disk medium.
+func RadioClasses(name string) []radio.Class {
+	switch name {
+	case RadioMixed:
+		// Weak, default, and strong radios interleaved: plenty of
+		// one-way links without stranding whole regions.
+		return []radio.Class{
+			{Range: 200, CSRange: 450},
+			{Range: 275, CSRange: 550},
+			{Range: 350, CSRange: 650},
+		}
+	case RadioAsym:
+		// Every other node is a long-range transmitter the short-range
+		// half can hear but never answer — the starkest asymmetric-link
+		// regime the MAC ACK and reverse-path code must survive.
+		return []radio.Class{
+			{Range: 375, CSRange: 650},
+			{Range: 150, CSRange: 450},
+		}
+	}
+	return nil
+}
+
+// Density names the selectable node-placement warps (see
+// mobility.NewWarped): deterministic terrain-preserving maps over the
+// movement model's positions, so placement density changes without
+// perturbing any seeded stream.
+const (
+	DensityUniform  = "uniform"  // the movement model's own placement
+	DensityGradient = "gradient" // dense at x=0, thinning toward x=Width
+	DensityHotspot  = "hotspot"  // dense core, sparse borders
+)
+
+// Densities lists the valid density profile names.
+func Densities() []string { return []string{DensityUniform, DensityGradient, DensityHotspot} }
+
+// ValidDensity reports whether name selects a known density profile
+// ("" selects uniform placement).
+func ValidDensity(name string) bool {
+	switch name {
+	case "", DensityUniform, DensityGradient, DensityHotspot:
+		return true
+	}
+	return false
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Protocol  ProtocolName
@@ -81,6 +151,19 @@ type Config struct {
 	// [MinSpeed, MaxSpeed]; Gauss-Markov reverts to the mid-range speed.
 	// Scripted Positions (below) override the model entirely.
 	Mobility string
+
+	// Radio selects a named heterogeneous transmit-power profile ("" or
+	// "uniform" → the paper's single 275 m disk). Non-uniform profiles
+	// assign radio.Config.Classes per node id, making links directional;
+	// they compose with RadioConfig (the classes are stamped onto
+	// whichever base config runs).
+	Radio string
+
+	// Density selects a named node-placement warp ("" or "uniform" → the
+	// movement model's own uniform placement). Warps are deterministic
+	// position maps (mobility.NewWarped), so enabling one draws no
+	// randomness. Ignored when scripted Positions pin exact coordinates.
+	Density string
 
 	// TrafficPattern selects the workload generator ("" → CBR); see
 	// internal/traffic for the bursty and request-response patterns.
@@ -229,6 +312,12 @@ func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instr
 	if cfg.RadioConfig != nil {
 		radioCfg = *cfg.RadioConfig
 	}
+	if !ValidRadio(cfg.Radio) {
+		return nil, nil, nil, fmt.Errorf("scenario: unknown radio profile %q", cfg.Radio)
+	}
+	if cls := RadioClasses(cfg.Radio); cls != nil {
+		radioCfg.Classes = cls
+	}
 	nw := routing.NewNetwork(cfg.Nodes, model, radioCfg, macCfg, cfg.Seed, factory)
 	if !traffic.ValidPattern(string(cfg.TrafficPattern)) {
 		return nil, nil, nil, fmt.Errorf("scenario: unknown traffic pattern %q", cfg.TrafficPattern)
@@ -304,9 +393,10 @@ func Run(cfg Config) (Result, error) {
 
 // buildMobility resolves the config's movement model. Scripted Positions
 // take precedence; otherwise the named model is parameterized from the
-// scenario's terrain and speed fields. Every model draws from the same
-// root.Split("mobility") stream, so switching models never perturbs the
-// traffic, MAC, or fault randomness of the run.
+// scenario's terrain and speed fields, then wrapped in the config's
+// density warp (a draw-free position map). Every model draws from the
+// same root.Split("mobility") stream, so switching models or densities
+// never perturbs the traffic, MAC, or fault randomness of the run.
 func buildMobility(cfg Config, src *rng.Source) (mobility.Model, error) {
 	if len(cfg.Positions) > 0 {
 		if len(cfg.Positions) != cfg.Nodes {
@@ -314,6 +404,24 @@ func buildMobility(cfg Config, src *rng.Source) (mobility.Model, error) {
 		}
 		return mobility.NewStatic(cfg.Positions), nil
 	}
+	model, err := buildMovement(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Density {
+	case "", DensityUniform:
+		return model, nil
+	case DensityGradient:
+		return mobility.NewWarped(model, mobility.GradientWarp(cfg.Terrain)), nil
+	case DensityHotspot:
+		return mobility.NewWarped(model, mobility.HotspotWarp(cfg.Terrain)), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown density profile %q", cfg.Density)
+	}
+}
+
+// buildMovement resolves the named movement model itself.
+func buildMovement(cfg Config, src *rng.Source) (mobility.Model, error) {
 	switch cfg.Mobility {
 	case "", Waypoint:
 		return mobility.NewWaypoint(cfg.Nodes, mobility.WaypointConfig{

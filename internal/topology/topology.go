@@ -24,6 +24,24 @@ type Graph struct {
 // between nodes at most radioRange apart.
 func Snapshot(model mobility.Model, at time.Duration, radioRange float64) *Graph {
 	n := model.NumNodes()
+	ranges := make([]float64, n)
+	for i := range ranges {
+		ranges[i] = radioRange
+	}
+	return SnapshotRanges(model, at, ranges)
+}
+
+// SnapshotRanges builds the connectivity graph under per-node transmit
+// ranges: a link exists between i and j only when each is within the
+// other's range, i.e. the pair can exchange (and ACK) frames in both
+// directions. One-way reachability — a long-range node heard by a
+// short-range one that cannot answer — is deliberately excluded: the
+// oracle bounds what an ACK-based MAC can actually use.
+func SnapshotRanges(model mobility.Model, at time.Duration, ranges []float64) *Graph {
+	n := model.NumNodes()
+	if len(ranges) != n {
+		panic("topology: ranges length does not match node count")
+	}
 	pts := make([]mobility.Point, n)
 	for i := 0; i < n; i++ {
 		pts[i] = model.Position(i, at)
@@ -31,7 +49,8 @@ func Snapshot(model mobility.Model, at time.Duration, radioRange float64) *Graph
 	g := &Graph{n: n, adj: make([][]int, n)}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if pts[i].Dist(pts[j]) <= radioRange {
+			d := pts[i].Dist(pts[j])
+			if d <= ranges[i] && d <= ranges[j] {
 				g.adj[i] = append(g.adj[i], j)
 				g.adj[j] = append(g.adj[j], i)
 			}

@@ -80,6 +80,36 @@ func TestSnapshotTracksMobility(t *testing.T) {
 	}
 }
 
+// SnapshotRanges keeps only mutually-decodable links: a long-range node
+// hearing a short-range one that cannot answer contributes no edge.
+func TestSnapshotRangesMutualOnly(t *testing.T) {
+	// 0 —250m— 1 —250m— 2, with node 1 short-ranged: both its links are
+	// one-way inbound only, so the graph is fully partitioned.
+	pts := []mobility.Point{{X: 0}, {X: 250}, {X: 500}}
+	g := topology.SnapshotRanges(mobility.NewStatic(pts), 0, []float64{375, 150, 375})
+	if g.Components() != 3 {
+		t.Fatalf("components = %d, want 3 (one-way links must not count)", g.Components())
+	}
+	// Move the ends within the short node's range: both links become
+	// mutual and the chain connects.
+	pts = []mobility.Point{{X: 0}, {X: 140}, {X: 280}}
+	g = topology.SnapshotRanges(mobility.NewStatic(pts), 0, []float64{200, 150, 200})
+	if g.Components() != 1 || g.Dist(0, 2) != 2 {
+		t.Fatalf("components = %d, Dist(0,2) = %d; want 1 chain of 2 hops",
+			g.Components(), g.Dist(0, 2))
+	}
+	// Uniform ranges must agree with the classic Snapshot.
+	model := mobility.Line(5, 250)
+	a := topology.Snapshot(model, 0, 275)
+	b := topology.SnapshotRanges(model, 0, []float64{275, 275, 275, 275, 275})
+	for i := 0; i < 5; i++ {
+		if a.Degree(i) != b.Degree(i) {
+			t.Fatalf("node %d: Snapshot degree %d != SnapshotRanges degree %d",
+				i, a.Degree(i), b.Degree(i))
+		}
+	}
+}
+
 // Property: Dist is symmetric, satisfies the handshake with ShortestPath,
 // and -1 exactly when Connected is false.
 func TestDistanceProperties(t *testing.T) {
