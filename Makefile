@@ -2,18 +2,18 @@
 
 GO ?= go
 
-.PHONY: all check ci-quick ci-full build test vet race fuzz-smoke fuzz-radio chaos adversary modelcheck modelcheck-smoke modelcheck-seed bench bench-sweep bench-smoke bench-chaos bench-adversary bench-modelcheck bench-gate bench-all profile examples experiments clean
+.PHONY: all check ci-quick ci-full build test vet race fuzz-smoke fuzz-radio chaos adversary modelcheck modelcheck-smoke modelcheck-seed resume-smoke bench bench-sweep bench-smoke bench-chaos bench-adversary bench-modelcheck bench-gate bench-all profile examples experiments clean
 
 all: check
 
-check: build vet test race fuzz-smoke adversary modelcheck-smoke bench-smoke
+check: build vet test race fuzz-smoke adversary modelcheck-smoke bench-smoke resume-smoke
 
 # Tiered CI entry points (.github/workflows/ci.yml): ci-quick gates every
 # push, ci-full gates pull requests, and the scheduled nightly job runs
-# `make chaos modelcheck fuzz-radio` directly.
+# `make chaos modelcheck fuzz-radio resume-smoke` directly.
 ci-quick: build vet test
 
-ci-full: race fuzz-smoke adversary modelcheck-smoke bench-smoke
+ci-full: race fuzz-smoke adversary modelcheck-smoke bench-smoke resume-smoke
 
 build:
 	$(GO) build ./...
@@ -49,10 +49,23 @@ fuzz-radio:
 
 # The fault-injection suite under the race detector: the van Glabbeek
 # loop reproduction, the per-profile LDR invariant properties, and the
-# chaos sweep's worker-count determinism.
+# chaos sweep's worker-count determinism. The closing ldrchaos run is
+# journaled with a watchdog and keep-going quarantine — the crash-safe
+# mode the nightly job exercises end to end; its journal (and failure
+# manifest plus reproducers, if any cell was quarantined) survives in
+# the printed directory for post-mortem.
 chaos:
 	$(GO) test -race -timeout 60m ./internal/fault/ -run .
 	$(GO) test -race -timeout 60m ./internal/experiments/ -run Chaos
+	d=$$(mktemp -d)/journal; echo "chaos journal: $$d"; \
+	$(GO) run ./cmd/ldrchaos -trials 2 -simtime 60s -journal $$d -cell-timeout 10m -keep-going
+
+# Crash-safety smoke: SIGKILL a journaled chaos sweep mid-flight, resume
+# it from the journal, and require output byte-identical to an
+# uninterrupted run (plus the stale-journal -resume guard). Part of
+# `make check`, `make ci-full`, and the nightly job.
+resume-smoke:
+	GO="$(GO)" sh scripts/resume-smoke.sh
 
 # Bounded model check, full scale (a few minutes on one core):
 # exhaustively verify LDR's loop-freedom and (sn, fd) ordering on every

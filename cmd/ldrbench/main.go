@@ -13,6 +13,12 @@
 //
 // Output is deterministic: byte-identical for the same flags at any
 // -workers setting.
+//
+// With -journal DIR the sweep is crash-safe: completed cells are durably
+// recorded, ^C prints the exact resume command, and -resume continues a
+// killed run to byte-identical output. -cell-timeout arms a per-cell
+// watchdog and -keep-going quarantines failing cells (with auto-emitted
+// reproducers) instead of aborting the whole sweep.
 package main
 
 import (
@@ -24,8 +30,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/manetlab/ldr/internal/conformance"
 	"github.com/manetlab/ldr/internal/experiments"
+	"github.com/manetlab/ldr/internal/resilience"
 	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/sweep"
 	"github.com/manetlab/ldr/internal/traffic"
 )
 
@@ -53,6 +62,8 @@ func run() error {
 		densityProf   = flag.String("density", "", "placement-density profile for every cell: uniform|gradient|hotspot (default uniform; -exp radio sweeps all)")
 		adaptive      = flag.Bool("adaptive-timeout", false, "derive LDR/AODV route lifetimes from observed RTTs instead of constants")
 	)
+	var ef resilience.ExecFlags
+	ef.Register(flag.CommandLine)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
 		fmt.Fprintf(w, "usage: ldrbench [flags]\n\n")
@@ -68,6 +79,9 @@ func run() error {
 		fmt.Fprintf(w, "  ldrbench -exp table1 -traffic bursty -adaptive-timeout\n")
 		fmt.Fprintf(w, "  ldrbench -exp radio                             # uniform vs mixed vs asym power, density profiles\n")
 		fmt.Fprintf(w, "  ldrbench -exp fig3 -radio asym -density gradient\n")
+		fmt.Fprintf(w, "  ldrbench -exp table1 -journal /tmp/t1.journal           # kill-safe; ^C prints the resume command\n")
+		fmt.Fprintf(w, "  ldrbench -exp table1 -journal /tmp/t1.journal -resume   # continue a killed sweep\n")
+		fmt.Fprintf(w, "  ldrbench -exp all -journal DIR -cell-timeout 2m -keep-going\n")
 	}
 	flag.Parse()
 
@@ -95,6 +109,11 @@ func run() error {
 	if !scenario.ValidDensity(*densityProf) {
 		return fmt.Errorf("-density must be one of %v (got %q)", scenario.Densities(), *densityProf)
 	}
+	journal, err := ef.OpenJournal()
+	if err != nil {
+		return err
+	}
+	resilience.HandleSignals(journal, os.Stderr)
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -123,6 +142,7 @@ func run() error {
 		}()
 	}
 
+	var prog sweep.Progress
 	opts := experiments.Options{
 		Trials:          *trials,
 		SimTime:         *simTime,
@@ -134,6 +154,22 @@ func run() error {
 		Radio:           *radioProf,
 		Density:         *densityProf,
 		AdaptiveTimeout: *adaptive,
+		Progress:        &prog,
+		Exec: sweep.ExecOptions{
+			Journal:     journal,
+			CellTimeout: ef.CellTimeout,
+			KeepGoing:   ef.KeepGoing,
+		},
+	}
+	if journal != nil {
+		opts.Exec.OnFailure = conformance.QuarantineEmitter(journal.Dir(), func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ldrbench: "+format+"\n", args...)
+		})
+	}
+	// On a degraded keep-going run, render whatever completed, then leave
+	// a machine-readable manifest next to the journal records.
+	report := func(err error) error {
+		return sweep.ReportFailures(os.Stderr, "ldrbench", journal, "metrics", prog.Total(), err)
 	}
 	if *protos != "" {
 		for _, p := range strings.Split(*protos, ",") {
@@ -184,7 +220,7 @@ func run() error {
 		for _, e := range all {
 			start := time.Now()
 			if err := e.fn(opts); err != nil {
-				return fmt.Errorf("%s: %w", e.name, err)
+				return report(fmt.Errorf("%s: %w", e.name, err))
 			}
 			fmt.Printf("[%s done in %v]\n", e.name, time.Since(start).Round(time.Second))
 		}
@@ -192,7 +228,7 @@ func run() error {
 	}
 	for _, e := range append(all, extra...) {
 		if e.name == *exp {
-			return e.fn(opts)
+			return report(e.fn(opts))
 		}
 	}
 	names := make([]string, 0, len(all)+len(extra)+1)

@@ -29,6 +29,13 @@
 //
 // Output is deterministic: byte-identical for the same flags at any
 // -workers setting.
+//
+// With -journal DIR the sweep is crash-safe: completed cells are durably
+// recorded, ^C prints the exact resume command, and -resume continues a
+// killed run to byte-identical output. -cell-timeout arms a per-cell
+// watchdog and -keep-going quarantines failing cells (with auto-emitted
+// reproducers) instead of aborting the whole sweep — the natural mode for
+// a suite whose whole point is hostile conditions.
 package main
 
 import (
@@ -39,9 +46,12 @@ import (
 	"time"
 
 	"github.com/manetlab/ldr/internal/adversary"
+	"github.com/manetlab/ldr/internal/conformance"
 	"github.com/manetlab/ldr/internal/experiments"
 	"github.com/manetlab/ldr/internal/fault"
+	"github.com/manetlab/ldr/internal/resilience"
 	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/sweep"
 	"github.com/manetlab/ldr/internal/traffic"
 )
 
@@ -69,6 +79,8 @@ func run() error {
 		densityProf   = flag.String("density", "", "placement-density profile for every cell: uniform|gradient|hotspot (default uniform)")
 		adaptive      = flag.Bool("adaptive-timeout", false, "derive LDR/AODV route lifetimes from observed RTTs instead of constants")
 	)
+	var ef resilience.ExecFlags
+	ef.Register(flag.CommandLine)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
 		fmt.Fprintf(w, "usage: ldrchaos [flags]\n\n")
@@ -87,6 +99,9 @@ func run() error {
 		fmt.Fprintf(w, "  ldrchaos -adversary seqno-forge,storm -protocols ldr,aodv\n")
 		fmt.Fprintf(w, "  ldrchaos -profiles reboot -mobility manhattan -traffic bursty -adaptive-timeout\n")
 		fmt.Fprintf(w, "  ldrchaos -profiles mayhem -radio mixed -density gradient  # one-way links under faults\n")
+		fmt.Fprintf(w, "  ldrchaos -journal /tmp/chaos.journal                      # kill-safe; ^C prints the resume command\n")
+		fmt.Fprintf(w, "  ldrchaos -journal /tmp/chaos.journal -resume              # continue a killed sweep\n")
+		fmt.Fprintf(w, "  ldrchaos -journal DIR -cell-timeout 2m -keep-going        # quarantine wedged/panicking cells\n")
 	}
 	flag.Parse()
 
@@ -117,7 +132,13 @@ func run() error {
 	if !scenario.ValidDensity(*densityProf) {
 		return fmt.Errorf("-density must be one of %v (got %q)", scenario.Densities(), *densityProf)
 	}
+	journal, err := ef.OpenJournal()
+	if err != nil {
+		return err
+	}
+	resilience.HandleSignals(journal, os.Stderr)
 
+	var prog sweep.Progress
 	opts := experiments.Options{
 		Trials:          *trials,
 		SimTime:         *simTime,
@@ -130,6 +151,17 @@ func run() error {
 		Radio:           *radioProf,
 		Density:         *densityProf,
 		AdaptiveTimeout: *adaptive,
+		Progress:        &prog,
+		Exec: sweep.ExecOptions{
+			Journal:     journal,
+			CellTimeout: ef.CellTimeout,
+			KeepGoing:   ef.KeepGoing,
+		},
+	}
+	if journal != nil {
+		opts.Exec.OnFailure = conformance.QuarantineEmitter(journal.Dir(), func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ldrchaos: "+format+"\n", args...)
+		})
 	}
 	if *profiles != "" && *adv != "" {
 		return fmt.Errorf("-profiles and -adversary are mutually exclusive (fault suite vs Byzantine suite)")
@@ -164,8 +196,12 @@ func run() error {
 			opts.Protocols = append(opts.Protocols, name)
 		}
 	}
+	// On a degraded keep-going run, render whatever completed, then leave
+	// a machine-readable manifest next to the journal records.
 	if *adv != "" {
-		return experiments.Adversary(opts)
+		err := experiments.Adversary(opts)
+		return sweep.ReportFailures(os.Stderr, "ldrchaos", journal, "adversary", prog.Total(), err)
 	}
-	return experiments.Chaos(opts)
+	err = experiments.Chaos(opts)
+	return sweep.ReportFailures(os.Stderr, "ldrchaos", journal, "chaos", prog.Total(), err)
 }

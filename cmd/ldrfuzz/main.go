@@ -27,10 +27,17 @@
 // changes neither the scenarios generated nor the findings reported.
 // Exit status is 1 when any finding is reported, so the command can gate
 // CI.
+//
+// With -journal DIR the sweep is crash-safe: completed runs are durably
+// recorded, ^C prints the exact resume command, and -resume continues a
+// killed campaign without re-simulating finished runs. -cell-timeout
+// arms a per-run watchdog and -keep-going quarantines failing runs (with
+// auto-emitted reproducers) instead of aborting the campaign.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +47,9 @@ import (
 	"github.com/manetlab/ldr/internal/adversary"
 	"github.com/manetlab/ldr/internal/conformance"
 	"github.com/manetlab/ldr/internal/fault"
+	"github.com/manetlab/ldr/internal/resilience"
 	"github.com/manetlab/ldr/internal/scenario"
+	"github.com/manetlab/ldr/internal/sweep"
 	"github.com/manetlab/ldr/internal/traffic"
 )
 
@@ -78,6 +87,8 @@ func run() error {
 		shrink     = flag.Bool("shrink", true, "minimize findings into small reproducers")
 		quiet      = flag.Bool("q", false, "suppress progress; print only the findings JSON")
 	)
+	var ef resilience.ExecFlags
+	ef.Register(flag.CommandLine)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
 		fmt.Fprintf(w, "usage: ldrfuzz [flags]\n\n")
@@ -95,6 +106,8 @@ func run() error {
 		fmt.Fprintf(w, "  ldrfuzz -adversaries seqno-forge,byzantine -profiles none\n")
 		fmt.Fprintf(w, "  ldrfuzz -mobilities manhattan,gaussmarkov -traffics bursty,reqresp\n")
 		fmt.Fprintf(w, "  ldrfuzz -radios mixed,asym -densities gradient,hotspot   # heterogeneous-radio hunt\n")
+		fmt.Fprintf(w, "  ldrfuzz -runs 500 -journal /tmp/fuzz.journal             # kill-safe campaign; resume with -resume\n")
+		fmt.Fprintf(w, "  ldrfuzz -journal DIR -cell-timeout 1m -keep-going        # quarantine wedged/panicking runs\n")
 	}
 	flag.Parse()
 
@@ -116,7 +129,13 @@ func run() error {
 	if *maxSimTime < 5*time.Second {
 		return fmt.Errorf("-max-simtime must be at least 5s (got %v)", *maxSimTime)
 	}
+	journal, err := ef.OpenJournal()
+	if err != nil {
+		return err
+	}
+	resilience.HandleSignals(journal, os.Stderr)
 
+	var prog sweep.Progress
 	opts := conformance.Options{
 		Runs:       *runs,
 		Seed:       *seed,
@@ -124,6 +143,17 @@ func run() error {
 		MaxNodes:   *maxNodes,
 		MaxSimTime: *maxSimTime,
 		Shrink:     *shrink,
+		Progress:   &prog,
+		Exec: sweep.ExecOptions{
+			Journal:     journal,
+			CellTimeout: ef.CellTimeout,
+			KeepGoing:   ef.KeepGoing,
+		},
+	}
+	if journal != nil {
+		opts.Exec.OnFailure = conformance.QuarantineEmitter(journal.Dir(), func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ldrfuzz: "+format+"\n", args...)
+		})
 	}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) {
@@ -199,19 +229,24 @@ func run() error {
 	}
 
 	findings, err := conformance.Fuzz(opts)
-	if err != nil {
+	err = sweep.ReportFailures(os.Stderr, "ldrfuzz", journal, "fuzz", *runs, err)
+	var fs sweep.Failures
+	degraded := errors.As(err, &fs)
+	if err != nil && !degraded {
 		return err
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "ldrfuzz: %d runs, %d findings\n", *runs, len(findings))
 	}
-	if len(findings) == 0 {
-		return nil
+	if len(findings) > 0 {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jerr := enc.Encode(findings); jerr != nil {
+			return jerr
+		}
+		return fmt.Errorf("%d violating scenario(s) found", len(findings))
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(findings); err != nil {
-		return err
-	}
-	return fmt.Errorf("%d violating scenario(s) found", len(findings))
+	// A degraded keep-going campaign still exits nonzero: its Failures
+	// error names the quarantined runs the findings above cannot cover.
+	return err
 }

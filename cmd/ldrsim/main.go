@@ -13,13 +13,19 @@
 // Flags are validated before anything runs: nonsensical values
 // (-trials 0, -workers -1, zero nodes, an unknown protocol) are rejected
 // with a clear error rather than silently misbehaving.
+//
+// ^C does not kill the simulation mid-event: the run stops at its next
+// event boundary and the metrics accumulated so far are printed, with the
+// seed to re-run the scenario in full. A second ^C force-kills.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"github.com/manetlab/ldr/internal/mobility"
@@ -108,6 +114,19 @@ func run() error {
 		return fmt.Errorf("-density must be one of %v (got %q)", scenario.Densities(), *densityProf)
 	}
 
+	// Stop at the next event boundary on ^C/SIGTERM and report the
+	// partial metrics; a second signal falls through to the default
+	// (fatal) disposition.
+	ctl := scenario.NewControl()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		signal.Stop(sigCh)
+		fmt.Fprintf(os.Stderr, "ldrsim: %v — stopping at the next event boundary (send again to force-kill)\n", s)
+		ctl.Interrupt()
+	}()
+
 	cfg := scenario.Config{
 		Protocol:        scenario.ProtocolName(*proto),
 		Nodes:           *nodes,
@@ -126,11 +145,11 @@ func run() error {
 	}
 
 	if *trials > 1 {
-		return runTrials(cfg, *trials, *workers)
+		return runTrials(cfg, *trials, *workers, ctl)
 	}
 
 	start := time.Now()
-	res, err := scenario.Run(cfg)
+	res, err := scenario.RunWithControl(cfg, ctl)
 	if err != nil {
 		return err
 	}
@@ -155,12 +174,16 @@ func run() error {
 		fmt.Printf("mean dest seqno  %.2f\n", c.MeanSeqno())
 	}
 	fmt.Printf("sim events       %d (%.1fs wall)\n", res.Events, time.Since(start).Seconds())
+	if res.Interrupted {
+		fmt.Printf("INTERRUPTED      metrics cover only the simulated time reached; re-run with -seed %d for the full %v\n",
+			cfg.Seed, cfg.SimTime)
+	}
 	return nil
 }
 
 // runTrials runs the scenario across consecutive seeds in parallel and
 // prints one line per seed plus an aggregate summary.
-func runTrials(cfg scenario.Config, trials, workers int) error {
+func runTrials(cfg scenario.Config, trials, workers int, ctl *scenario.Control) error {
 	cfgs := make([]scenario.Config, trials)
 	for i := range cfgs {
 		cfgs[i] = cfg
@@ -168,7 +191,7 @@ func runTrials(cfg scenario.Config, trials, workers int) error {
 	}
 
 	start := time.Now()
-	results, err := sweep.Run(cfgs, sweep.Options{Workers: workers})
+	results, err := sweep.Run(cfgs, sweep.Options{Workers: workers, Exec: sweep.ExecOptions{Control: ctl}})
 	if err != nil {
 		return err
 	}
@@ -180,18 +203,37 @@ func runTrials(cfg scenario.Config, trials, workers int) error {
 
 	var delivery, latency, load []float64
 	var events uint64
+	ran, interrupted := 0, false
 	for _, res := range results {
 		c := res.Collector
+		if c == nil {
+			// An interrupted sweep stops claiming seeds; unclaimed cells
+			// have no result.
+			continue
+		}
+		ran++
+		interrupted = interrupted || res.Interrupted
 		d := 100 * c.DeliveryRatio()
 		l := float64(c.MeanLatency()) / float64(time.Millisecond)
 		n := c.NetworkLoad()
 		delivery, latency, load = append(delivery, d), append(latency, l), append(load, n)
 		events += res.Events
-		fmt.Printf("%-8d %12.2f %12.3f %14.3f %12d\n", res.Config.Seed, d, l, n, res.Events)
+		mark := ""
+		if res.Interrupted {
+			mark = "  (interrupted: partial)"
+		}
+		fmt.Printf("%-8d %12.2f %12.3f %14.3f %12d%s\n", res.Config.Seed, d, l, n, res.Events, mark)
+	}
+	if ran == 0 {
+		return fmt.Errorf("interrupted before any trial completed; re-run with -seed %d", cfg.Seed)
 	}
 	sd, sl, sn := stats.Summarize(delivery), stats.Summarize(latency), stats.Summarize(load)
 	fmt.Printf("%-8s %6.2f ±%4.2f %6.3f ±%4.2f %8.3f ±%4.2f\n", "mean", sd.Mean, sd.CI95, sl.Mean, sl.CI95, sn.Mean, sn.CI95)
 	wall := time.Since(start).Seconds()
 	fmt.Printf("sim events       %d (%.1fs wall, %.0f events/s)\n", events, wall, float64(events)/wall)
+	if interrupted || ran < trials {
+		fmt.Printf("INTERRUPTED      %d of %d trials ran (some partial); re-run with -seed %d -trials %d for the full sweep\n",
+			ran, trials, cfg.Seed, trials)
+	}
 	return nil
 }

@@ -346,21 +346,31 @@ type CheckConfig struct {
 
 // Report is the outcome of a checked run.
 type Report struct {
-	Config     scenario.Config
-	Collector  *metrics.Collector
-	Violations []Violation // retained records (capped)
-	Total      uint64      // exact violation count
-	Checks     uint64      // audits performed
-	Events     uint64      // simulator events executed
+	Config      scenario.Config
+	Collector   *metrics.Collector
+	Violations  []Violation // retained records (capped)
+	Total       uint64      // exact violation count
+	Checks      uint64      // audits performed
+	Events      uint64      // simulator events executed
+	Interrupted bool        // run stopped early by a Control
 }
 
 // Check runs one scenario under the conservation harness and reports
 // every violation it detected.
 func Check(cfg scenario.Config, cc CheckConfig) (Report, error) {
+	return CheckControlled(cfg, cc, nil)
+}
+
+// CheckControlled is Check with an optional remote stop: the Control is
+// bound to the run's simulator, so a sweep watchdog or signal handler
+// can interrupt a checked run at an event boundary. A nil Control is
+// Check.
+func CheckControlled(cfg scenario.Config, cc CheckConfig, ctl *scenario.Control) (Report, error) {
 	nw, gen, _, err := scenario.BuildInstrumented(cfg)
 	if err != nil {
 		return Report{}, err
 	}
+	ctl.Bind(nw.Sim)
 	h := NewHarness(nw)
 	if len(cc.Tracers) == 0 {
 		nw.SetTracer(h.Ledger())
@@ -376,11 +386,12 @@ func Check(cfg scenario.Config, cc CheckConfig) (Report, error) {
 	nw.Stop()
 	h.Finish()
 	return Report{
-		Config:     cfg,
-		Collector:  nw.Collector,
-		Violations: h.led.Violations(),
-		Total:      h.led.ViolationTotal(),
-		Checks:     h.Checks,
-		Events:     nw.Sim.EventsFired(),
+		Config:      cfg,
+		Collector:   nw.Collector,
+		Violations:  h.led.Violations(),
+		Total:       h.led.ViolationTotal(),
+		Checks:      h.Checks,
+		Events:      nw.Sim.EventsFired(),
+		Interrupted: nw.Sim.Interrupted(),
 	}, nil
 }

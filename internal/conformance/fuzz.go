@@ -41,6 +41,16 @@ type Spec struct {
 	AuditMS    int     `json:"audit_ms"`
 	Note       string  `json:"note,omitempty"`
 
+	// Exact-geometry overrides, used by reproducers emitted from sweep
+	// cells (SpecFromConfig) so a seed replays the cell's true terrain
+	// and speed range rather than the fuzzer's derived defaults. Zero
+	// values select the defaults: a 40 m × Nodes by 300 m strip and the
+	// paper's 1–20 m/s speed range.
+	TerrainW float64 `json:"terrain_w,omitempty"`
+	TerrainH float64 `json:"terrain_h,omitempty"`
+	MinSpeed float64 `json:"min_speed,omitempty"`
+	MaxSpeed float64 `json:"max_speed,omitempty"`
+
 	// Script, when non-nil, replaces the randomized workload with exact
 	// positions, origination times, and fault timing (see Script). Used
 	// by model-checker witnesses.
@@ -78,14 +88,28 @@ func (s Spec) String() string {
 // 25-node spec gets the 1000 m × 300 m strip the fault tests use).
 func (s Spec) Config() (scenario.Config, error) {
 	simTime := time.Duration(s.SimTimeSec * float64(time.Second))
+	terrain := mobility.Terrain{Width: float64(40 * s.Nodes), Height: 300}
+	if s.TerrainW > 0 {
+		terrain.Width = s.TerrainW
+	}
+	if s.TerrainH > 0 {
+		terrain.Height = s.TerrainH
+	}
+	minSpeed, maxSpeed := 1.0, 20.0
+	if s.MinSpeed > 0 {
+		minSpeed = s.MinSpeed
+	}
+	if s.MaxSpeed > 0 {
+		maxSpeed = s.MaxSpeed
+	}
 	cfg := scenario.Config{
 		Protocol:        scenario.ProtocolName(s.Protocol),
 		Nodes:           s.Nodes,
-		Terrain:         mobility.Terrain{Width: float64(40 * s.Nodes), Height: 300},
+		Terrain:         terrain,
 		Flows:           s.Flows,
 		PauseTime:       time.Duration(s.PauseSec * float64(time.Second)),
-		MinSpeed:        1,
-		MaxSpeed:        20,
+		MinSpeed:        minSpeed,
+		MaxSpeed:        maxSpeed,
 		SimTime:         simTime,
 		Seed:            s.Seed,
 		Mobility:        s.Mobility,
@@ -150,6 +174,12 @@ func LoadSpec(path string) (Spec, error) {
 // CheckSpec runs the spec under the conservation harness, auditing at
 // the spec's cadence (default 100 ms).
 func CheckSpec(s Spec) (Report, error) {
+	return checkSpecControlled(s, nil)
+}
+
+// checkSpecControlled is CheckSpec bound to an optional sweep Control so
+// a fuzz cell's watchdog can interrupt it.
+func checkSpecControlled(s Spec, ctl *scenario.Control) (Report, error) {
 	cfg, err := s.Config()
 	if err != nil {
 		return Report{}, err
@@ -158,7 +188,7 @@ func CheckSpec(s Spec) (Report, error) {
 	if s.AuditMS > 0 {
 		cadence = time.Duration(s.AuditMS) * time.Millisecond
 	}
-	return Check(cfg, CheckConfig{Cadence: cadence})
+	return CheckControlled(cfg, CheckConfig{Cadence: cadence}, ctl)
 }
 
 // violates decides whether a report fails the fuzzer's invariants:
@@ -197,6 +227,14 @@ type Options struct {
 	Densities   []string                         // candidate density profiles (all of scenario.Densities)
 	Shrink      bool                             // minimize findings
 	Log         func(format string, args ...any) // progress sink, may be nil
+
+	// Exec carries the sweep resilience options: journal (scope "fuzz"),
+	// per-cell watchdog, keep-going quarantine, retry. A journaled fuzz
+	// sweep killed mid-run resumes without re-checking completed
+	// scenarios and reports the identical findings.
+	Exec sweep.ExecOptions
+	// Progress, when non-nil, is wired through to the sweep.
+	Progress *sweep.Progress
 }
 
 func (o *Options) defaults() {
@@ -280,51 +318,83 @@ func genSpec(o *Options, src *rng.Source) Spec {
 	}
 }
 
+// fuzzOutcome is the journaled payload of one fuzz cell: just the
+// verdict, not the full report, so records stay small and the journal
+// never has to round-trip a collector it does not render.
+type fuzzOutcome struct {
+	Violates   bool     `json:"violates"`
+	Total      uint64   `json:"total"`
+	Violations []string `json:"violations,omitempty"`
+}
+
 // Fuzz generates Runs random scenarios, checks them across a worker
 // pool, and returns the violating ones (shrunk when requested) in
 // generation order. The sweep is deterministic in (Seed, Runs): worker
-// count changes neither the scenarios generated nor the findings.
+// count changes neither the scenarios generated nor the findings, and a
+// journaled sweep resumed after a kill reports the identical findings —
+// the generator stream is a pure function of Seed, so resumed cells
+// re-derive the same specs and completed ones replay from the journal.
+//
+// With Exec.KeepGoing, findings from completed cells are returned
+// alongside the sweep.Failures error describing quarantined cells.
 func Fuzz(o Options) ([]Finding, error) {
 	o.defaults()
 	src := rng.New(o.Seed)
 	specs := make([]Spec, o.Runs)
+	cfgs := make([]scenario.Config, o.Runs)
 	for i := range specs {
 		specs[i] = genSpec(&o, src)
+		cfg, err := specs[i].Config()
+		if err != nil {
+			return nil, fmt.Errorf("conformance: spec %d: %w", i, err)
+		}
+		cfgs[i] = cfg
 	}
 
-	reports := make([]Report, o.Runs)
-	err := sweep.Each(o.Runs, sweep.Options{Workers: o.Workers}, func(i int) error {
-		r, err := CheckSpec(specs[i])
+	exec := o.Exec
+	if exec.Scope == "" {
+		exec.Scope = "fuzz"
+	}
+	outcomes, sweepErr := sweep.RunCells(cfgs, sweep.Options{
+		Workers:  o.Workers,
+		Progress: o.Progress,
+		Exec:     exec,
+	}, func(i int, ctl *scenario.Control) (fuzzOutcome, error) {
+		r, err := checkSpecControlled(specs[i], ctl)
 		if err != nil {
-			return err
+			return fuzzOutcome{}, err
 		}
-		reports[i] = r
-		return nil
+		out := fuzzOutcome{Violates: violates(specs[i], r), Total: r.Total}
+		for _, v := range r.Violations {
+			out.Violations = append(out.Violations, v.String())
+		}
+		return out, nil
 	})
-	if err != nil {
-		return nil, err
+	if sweepErr != nil && outcomes == nil {
+		return nil, sweepErr
 	}
 
 	var findings []Finding
-	for i, r := range reports {
-		if !violates(specs[i], r) {
+	for i, out := range outcomes {
+		if !out.Violates {
 			continue
 		}
-		o.Log("violation: %s (%d violations)", specs[i], r.Total)
-		f := Finding{Spec: specs[i], Shrunk: specs[i], Total: r.Total}
+		o.Log("violation: %s (%d violations)", specs[i], out.Total)
+		f := Finding{Spec: specs[i], Shrunk: specs[i], Total: out.Total, Violations: out.Violations}
 		if o.Shrink {
 			shrunk, sr, err := Shrink(specs[i], o.Log)
 			if err != nil {
 				return nil, err
 			}
-			f.Shrunk, f.Total, r = shrunk, sr.Total, sr
-		}
-		for _, v := range r.Violations {
-			f.Violations = append(f.Violations, v.String())
+			f.Shrunk, f.Total = shrunk, sr.Total
+			f.Violations = nil
+			for _, v := range sr.Violations {
+				f.Violations = append(f.Violations, v.String())
+			}
 		}
 		findings = append(findings, f)
 	}
-	return findings, nil
+	return findings, sweepErr
 }
 
 // Shrink greedily minimizes a violating spec while it keeps violating:

@@ -69,6 +69,9 @@ func (sc *Script) apply(cfg *scenario.Config) error {
 		})
 	}
 	if len(sc.Faults) > 0 {
+		if cfg.FaultPlan != nil {
+			return fmt.Errorf("conformance: spec has both a fault profile (%s) and scripted faults", cfg.FaultPlan.Name)
+		}
 		plan := fault.Plan{Name: "script"}
 		for _, f := range sc.Faults {
 			var kind fault.Kind

@@ -78,7 +78,7 @@ func Ablation(o Options) error {
 	addRow("ldr+rtscts", func(sc *scenario.Config) { sc.RTSCTS = true })
 
 	ms, err := runAll(cfgs, o)
-	if err != nil {
+	if ms == nil {
 		return err
 	}
 
@@ -88,7 +88,7 @@ func Ablation(o Options) error {
 	for i, name := range names {
 		printAblationRow(o, name, ms[i*o.Trials:(i+1)*o.Trials])
 	}
-	return nil
+	return err
 }
 
 func printAblationRow(o Options, name string, samples []runMetrics) {

@@ -10,36 +10,40 @@ import (
 )
 
 // advMetrics is the per-run measurement vector for the Adversary table.
+// Exported fields with JSON tags because journaled adversary sweeps
+// persist one advMetrics per cell (scope "adversary"); the counters are
+// integers, so the round trip is exact and resumed tables stay
+// byte-identical.
 type advMetrics struct {
-	delivery float64 // %
-	ctrlTx   uint64  // hop-wise control transmissions (CAF numerator/denominator)
-	loops    uint64  // honest-subgraph successor cycles flagged by the auditor
-	ordering uint64  // (seq, fd) ordering-criterion breaches
-	advDrops uint64  // data packets blackholed/grayholed (DropAdversary)
-	forged   uint64  // inflated-seqno RREPs forged
-	replayed uint64  // stale recorded messages re-broadcast
-	storm    uint64  // forged RREQs + RERRs flooded
-	feasRej  uint64  // LDR NDC refusals of advertisements
-	suppr    uint64  // RREQs + RERRs discarded by receive rate limiting
+	Delivery float64 `json:"delivery"`  // %
+	CtrlTx   uint64  `json:"ctrl_tx"`   // hop-wise control transmissions (CAF numerator/denominator)
+	Loops    uint64  `json:"loops"`     // honest-subgraph successor cycles flagged by the auditor
+	Ordering uint64  `json:"ordering"`  // (seq, fd) ordering-criterion breaches
+	AdvDrops uint64  `json:"adv_drops"` // data packets blackholed/grayholed (DropAdversary)
+	Forged   uint64  `json:"forged"`    // inflated-seqno RREPs forged
+	Replayed uint64  `json:"replayed"`  // stale recorded messages re-broadcast
+	Storm    uint64  `json:"storm"`     // forged RREQs + RERRs flooded
+	FeasRej  uint64  `json:"feas_rej"`  // LDR NDC refusals of advertisements
+	Suppr    uint64  `json:"suppr"`     // RREQs + RERRs discarded by receive rate limiting
 }
 
-func advRun(cfg scenario.Config) (advMetrics, error) {
-	res, err := scenario.Run(cfg)
+func advRun(cfg scenario.Config, ctls ...*scenario.Control) (advMetrics, error) {
+	res, err := scenario.RunWithControl(cfg, ctls...)
 	if err != nil {
 		return advMetrics{}, err
 	}
 	c := res.Collector
 	return advMetrics{
-		delivery: 100 * c.DeliveryRatio(),
-		ctrlTx:   c.TotalControlTransmitted(),
-		loops:    c.LoopViolations,
-		ordering: c.OrderingViolations,
-		advDrops: c.DroppedBy(metrics.DropAdversary),
-		forged:   res.Adversary.ForgedRREPs,
-		replayed: res.Adversary.Replayed,
-		storm:    res.Adversary.StormRREQs + res.Adversary.StormRERRs,
-		feasRej:  c.FeasibilityRejections,
-		suppr:    c.RREQSuppressed + c.RERRSuppressed,
+		Delivery: 100 * c.DeliveryRatio(),
+		CtrlTx:   c.TotalControlTransmitted(),
+		Loops:    c.LoopViolations,
+		Ordering: c.OrderingViolations,
+		AdvDrops: c.DroppedBy(metrics.DropAdversary),
+		Forged:   res.Adversary.ForgedRREPs,
+		Replayed: res.Adversary.Replayed,
+		Storm:    res.Adversary.StormRREQs + res.Adversary.StormRERRs,
+		FeasRej:  c.FeasibilityRejections,
+		Suppr:    c.RREQSuppressed + c.RERRSuppressed,
 	}, nil
 }
 
@@ -90,16 +94,10 @@ func Adversary(o Options) error {
 		}
 	}
 
-	ms := make([]advMetrics, len(cfgs))
-	err := sweep.Each(len(cfgs), o.sweepOptions(), func(i int) error {
-		m, err := advRun(cfgs[i])
-		if err != nil {
-			return err
-		}
-		ms[i] = m
-		return nil
+	ms, err := sweep.RunCells(cfgs, o.execOptions("adversary"), func(i int, ctl *scenario.Control) (advMetrics, error) {
+		return advRun(cfgs[i], ctl, o.Exec.Control)
 	})
-	if err != nil {
+	if ms == nil {
 		return err
 	}
 
@@ -119,24 +117,24 @@ func Adversary(o Options) error {
 		for t := 0; t < o.Trials; t++ {
 			b, a := ms[idx], ms[idx+1]
 			idx += 2
-			baseline = append(baseline, b.delivery)
-			attacked = append(attacked, a.delivery)
-			if b.ctrlTx > 0 {
-				cafs = append(cafs, float64(a.ctrlTx)/float64(b.ctrlTx))
+			baseline = append(baseline, b.Delivery)
+			attacked = append(attacked, a.Delivery)
+			if b.CtrlTx > 0 {
+				cafs = append(cafs, float64(a.CtrlTx)/float64(b.CtrlTx))
 			}
-			agg.loops += a.loops
-			agg.ordering += a.ordering
-			agg.advDrops += a.advDrops
-			agg.forged += a.forged
-			agg.replayed += a.replayed
-			agg.storm += a.storm
-			agg.feasRej += a.feasRej
-			agg.suppr += a.suppr
+			agg.Loops += a.Loops
+			agg.Ordering += a.Ordering
+			agg.AdvDrops += a.AdvDrops
+			agg.Forged += a.Forged
+			agg.Replayed += a.Replayed
+			agg.Storm += a.Storm
+			agg.FeasRej += a.FeasRej
+			agg.Suppr += a.Suppr
 		}
 		fmt.Fprintf(o.Out, "%-8s %s %s %7.2f %9d %7d %8d %7d %8d %7d %6d %6d\n",
 			k.proto, ciOf(attacked), ciOf(baseline), mean(cafs),
-			agg.advDrops, agg.forged, agg.replayed, agg.storm,
-			agg.feasRej, agg.suppr, agg.loops, agg.ordering)
+			agg.AdvDrops, agg.Forged, agg.Replayed, agg.Storm,
+			agg.FeasRej, agg.Suppr, agg.Loops, agg.Ordering)
 	}
-	return nil
+	return err
 }

@@ -12,28 +12,31 @@ import (
 
 // chaosMetrics is the per-run measurement vector for the Chaos table:
 // the usual performance pair plus everything the fault instruments saw.
+// Exported fields with JSON tags because journaled chaos sweeps persist
+// one chaosMetrics per cell (scope "chaos"); the counters are integers,
+// so the round trip is exact and resumed tables stay byte-identical.
 type chaosMetrics struct {
-	delivery float64 // %
-	netLoad  float64 // control pkts per delivered data pkt
-	loops    uint64  // successor-graph cycles flagged by the auditor
-	ordering uint64  // (seq, fd) ordering-criterion breaches
-	audits   uint64  // table-snapshot sweeps taken
-	crashes  int     // node crashes the injector executed
+	Delivery float64 `json:"delivery"` // %
+	NetLoad  float64 `json:"net_load"` // control pkts per delivered data pkt
+	Loops    uint64  `json:"loops"`    // successor-graph cycles flagged by the auditor
+	Ordering uint64  `json:"ordering"` // (seq, fd) ordering-criterion breaches
+	Audits   uint64  `json:"audits"`   // table-snapshot sweeps taken
+	Crashes  int     `json:"crashes"`  // node crashes the injector executed
 }
 
-func chaosRun(cfg scenario.Config) (chaosMetrics, error) {
-	res, err := scenario.Run(cfg)
+func chaosRun(cfg scenario.Config, ctls ...*scenario.Control) (chaosMetrics, error) {
+	res, err := scenario.RunWithControl(cfg, ctls...)
 	if err != nil {
 		return chaosMetrics{}, err
 	}
 	c := res.Collector
 	return chaosMetrics{
-		delivery: 100 * c.DeliveryRatio(),
-		netLoad:  c.NetworkLoad(),
-		loops:    c.LoopViolations,
-		ordering: c.OrderingViolations,
-		audits:   c.AuditSnapshots,
-		crashes:  res.Faults.Crashes,
+		Delivery: 100 * c.DeliveryRatio(),
+		NetLoad:  c.NetworkLoad(),
+		Loops:    c.LoopViolations,
+		Ordering: c.OrderingViolations,
+		Audits:   c.AuditSnapshots,
+		Crashes:  res.Faults.Crashes,
 	}, nil
 }
 
@@ -82,16 +85,10 @@ func Chaos(o Options) error {
 		}
 	}
 
-	ms := make([]chaosMetrics, len(cfgs))
-	err := sweep.Each(len(cfgs), o.sweepOptions(), func(i int) error {
-		m, err := chaosRun(cfgs[i])
-		if err != nil {
-			return err
-		}
-		ms[i] = m
-		return nil
+	ms, err := sweep.RunCells(cfgs, o.execOptions("chaos"), func(i int, ctl *scenario.Control) (chaosMetrics, error) {
+		return chaosRun(cfgs[i], ctl, o.Exec.Control)
 	})
-	if err != nil {
+	if ms == nil {
 		return err
 	}
 
@@ -110,18 +107,18 @@ func Chaos(o Options) error {
 		for t := 0; t < o.Trials; t++ {
 			m := ms[idx]
 			idx++
-			delivery = append(delivery, m.delivery)
-			netLoad = append(netLoad, m.netLoad)
-			agg.loops += m.loops
-			agg.ordering += m.ordering
-			agg.audits += m.audits
-			agg.crashes += m.crashes
+			delivery = append(delivery, m.Delivery)
+			netLoad = append(netLoad, m.NetLoad)
+			agg.Loops += m.Loops
+			agg.Ordering += m.Ordering
+			agg.Audits += m.Audits
+			agg.Crashes += m.Crashes
 		}
 		fmt.Fprintf(o.Out, "%-8s %8.0f %s %12.3f %8d %8d %8d %8d\n",
 			k.proto, k.pause.Seconds(), ciOf(delivery), mean(netLoad),
-			agg.loops, agg.ordering, agg.audits, agg.crashes)
+			agg.Loops, agg.Ordering, agg.Audits, agg.Crashes)
 	}
-	return nil
+	return err
 }
 
 func ciOf(xs []float64) string {

@@ -68,6 +68,16 @@ type Options struct {
 	// Progress, when non-nil, receives live cell counters for the sweep
 	// currently running (see sweep.Progress).
 	Progress *sweep.Progress
+
+	// Exec carries the sweep resilience options — journal, per-cell
+	// watchdog, keep-going quarantine, bounded retry — through to every
+	// experiment's sweep (see sweep.ExecOptions). The journal scope is
+	// per payload type ("metrics", "chaos", "adversary"), set by the
+	// experiment; Exec.Scope is ignored. Under Exec.KeepGoing an
+	// experiment with quarantined cells still renders its tables —
+	// failed cells contribute zero-valued samples — and then returns the
+	// sweep.Failures error so callers can write the manifest.
+	Exec sweep.ExecOptions
 }
 
 // Defaults fills unset options with the reduced-scale defaults.
@@ -103,6 +113,16 @@ func (o Options) sweepOptions() sweep.Options {
 	return sweep.Options{Workers: o.Workers, Progress: o.Progress}
 }
 
+// execOptions is sweepOptions plus the resilience layer, with the journal
+// scope pinned to the experiment's payload type so a "metrics" record can
+// never be decoded as a "chaos" one from a shared journal directory.
+func (o Options) execOptions(scope string) sweep.Options {
+	so := o.sweepOptions()
+	so.Exec = o.Exec
+	so.Exec.Scope = scope
+	return so
+}
+
 // applyDiversity stamps the options' scenario-diversity axes onto one
 // cell config.
 func (o Options) applyDiversity(cfg *scenario.Config) {
@@ -113,50 +133,46 @@ func (o Options) applyDiversity(cfg *scenario.Config) {
 	cfg.AdaptiveTimeout = o.AdaptiveTimeout
 }
 
-// runMetrics is the per-run measurement vector (Table 1's columns).
+// runMetrics is the per-run measurement vector (Table 1's columns). The
+// fields are exported with JSON tags because journaled sweeps persist one
+// runMetrics per cell; every field must round-trip through encoding/json
+// exactly for resumed output to stay byte-identical.
 type runMetrics struct {
-	delivery float64 // %
-	latency  float64 // ms
-	netLoad  float64 // control pkts per received data pkt
-	rreqLoad float64 // RREQs per received data pkt
-	rrepInit float64 // RREPs initiated per RREQ initiated
-	rrepRecv float64 // usable RREPs received per RREQ initiated
-	seqno    float64 // mean destination sequence number
+	Delivery float64 `json:"delivery"`  // %
+	Latency  float64 `json:"latency"`   // ms
+	NetLoad  float64 `json:"net_load"`  // control pkts per received data pkt
+	RREQLoad float64 `json:"rreq_load"` // RREQs per received data pkt
+	RREPInit float64 `json:"rrep_init"` // RREPs initiated per RREQ initiated
+	RREPRecv float64 `json:"rrep_recv"` // usable RREPs received per RREQ initiated
+	Seqno    float64 `json:"seqno"`     // mean destination sequence number
 }
 
-func run(cfg scenario.Config) (runMetrics, error) {
-	res, err := scenario.Run(cfg)
+func run(cfg scenario.Config, ctls ...*scenario.Control) (runMetrics, error) {
+	res, err := scenario.RunWithControl(cfg, ctls...)
 	if err != nil {
 		return runMetrics{}, err
 	}
 	c := res.Collector
 	return runMetrics{
-		delivery: 100 * c.DeliveryRatio(),
-		latency:  float64(c.MeanLatency()) / float64(time.Millisecond),
-		netLoad:  c.NetworkLoad(),
-		rreqLoad: c.RREQLoad(),
-		rrepInit: c.RREPInitPerRREQ(),
-		rrepRecv: c.RREPRecvPerRREQ(),
-		seqno:    c.MeanSeqno(),
+		Delivery: 100 * c.DeliveryRatio(),
+		Latency:  float64(c.MeanLatency()) / float64(time.Millisecond),
+		NetLoad:  c.NetworkLoad(),
+		RREQLoad: c.RREQLoad(),
+		RREPInit: c.RREPInitPerRREQ(),
+		RREPRecv: c.RREPRecvPerRREQ(),
+		Seqno:    c.MeanSeqno(),
 	}, nil
 }
 
 // runAll executes every cell across the worker pool and returns per-cell
-// metrics in input order.
+// metrics in input order, journaled under the "metrics" scope when
+// Options.Exec carries a journal. Under Exec.KeepGoing both the partial
+// metrics (failed cells zero-valued) and the sweep.Failures error are
+// returned; callers render the partial table and propagate the error.
 func runAll(cfgs []scenario.Config, o Options) ([]runMetrics, error) {
-	out := make([]runMetrics, len(cfgs))
-	err := sweep.Each(len(cfgs), o.sweepOptions(), func(i int) error {
-		m, err := run(cfgs[i])
-		if err != nil {
-			return err
-		}
-		out[i] = m
-		return nil
+	return sweep.RunCells(cfgs, o.execOptions("metrics"), func(i int, ctl *scenario.Control) (runMetrics, error) {
+		return run(cfgs[i], ctl, o.Exec.Control)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // trialSeeds yields the seed list for one configuration cell.
@@ -198,7 +214,7 @@ func Table1(o Options) error {
 		}
 	}
 	ms, err := runAll(cfgs, o)
-	if err != nil {
+	if ms == nil {
 		return err
 	}
 
@@ -216,7 +232,7 @@ func Table1(o Options) error {
 				ci(row.rreqLoad), ci(row.rrepInit), ci(row.rrepRecv))
 		}
 	}
-	return nil
+	return err
 }
 
 type summaries struct {
@@ -232,13 +248,13 @@ func summarizeRuns(ms []runMetrics) summaries {
 		return stats.Summarize(xs)
 	}
 	return summaries{
-		delivery: col(func(m runMetrics) float64 { return m.delivery }),
-		latency:  col(func(m runMetrics) float64 { return m.latency }),
-		netLoad:  col(func(m runMetrics) float64 { return m.netLoad }),
-		rreqLoad: col(func(m runMetrics) float64 { return m.rreqLoad }),
-		rrepInit: col(func(m runMetrics) float64 { return m.rrepInit }),
-		rrepRecv: col(func(m runMetrics) float64 { return m.rrepRecv }),
-		seqno:    col(func(m runMetrics) float64 { return m.seqno }),
+		delivery: col(func(m runMetrics) float64 { return m.Delivery }),
+		latency:  col(func(m runMetrics) float64 { return m.Latency }),
+		netLoad:  col(func(m runMetrics) float64 { return m.NetLoad }),
+		rreqLoad: col(func(m runMetrics) float64 { return m.RREQLoad }),
+		rrepInit: col(func(m runMetrics) float64 { return m.RREPInit }),
+		rrepRecv: col(func(m runMetrics) float64 { return m.RREPRecv }),
+		seqno:    col(func(m runMetrics) float64 { return m.Seqno }),
 	}
 }
 
@@ -264,7 +280,7 @@ func DeliveryFigure(o Options, id string, nodes, flows int) error {
 		}
 	}
 	ms, err := runAll(cfgs, o)
-	if err != nil {
+	if ms == nil {
 		return err
 	}
 
@@ -282,7 +298,7 @@ func DeliveryFigure(o Options, id string, nodes, flows int) error {
 		for range o.Protocols {
 			xs := make([]float64, o.Trials)
 			for t := 0; t < o.Trials; t++ {
-				xs[t] = ms[idx].delivery
+				xs[t] = ms[idx].Delivery
 				idx++
 			}
 			s := stats.Summarize(xs)
@@ -290,7 +306,7 @@ func DeliveryFigure(o Options, id string, nodes, flows int) error {
 		}
 		fmt.Fprintln(o.Out)
 	}
-	return nil
+	return err
 }
 
 func cell(proto scenario.ProtocolName, nodes, flows int, pause time.Duration, seed int64) scenario.Config {
@@ -334,7 +350,7 @@ func Fig7(o Options) error {
 		}
 	}
 	ms, err := runAll(cfgs, o)
-	if err != nil {
+	if ms == nil {
 		return err
 	}
 
@@ -349,7 +365,7 @@ func Fig7(o Options) error {
 			for range protos {
 				xs := make([]float64, o.Trials)
 				for t := 0; t < o.Trials; t++ {
-					xs[t] = ms[idx].seqno
+					xs[t] = ms[idx].Seqno
 					idx++
 				}
 				s := stats.Summarize(xs)
@@ -358,5 +374,5 @@ func Fig7(o Options) error {
 		}
 		fmt.Fprintln(o.Out)
 	}
-	return nil
+	return err
 }

@@ -38,7 +38,7 @@ func Mobility(o Options) error {
 		}
 	}
 	ms, err := runAll(cfgs, o)
-	if err != nil {
+	if ms == nil {
 		return err
 	}
 
@@ -75,7 +75,7 @@ func Mobility(o Options) error {
 			model, rankString(byDelivery, func(r row) scenario.ProtocolName { return r.proto }),
 			rankString(byOverhead, func(r row) scenario.ProtocolName { return r.proto }))
 	}
-	return nil
+	return err
 }
 
 func rankString[T any](rows []T, proto func(T) scenario.ProtocolName) string {

@@ -50,7 +50,7 @@ func Radio(o Options) error {
 		}
 	}
 	ms, err := runAll(cfgs, o)
-	if err != nil {
+	if ms == nil {
 		return err
 	}
 
@@ -88,5 +88,5 @@ func Radio(o Options) error {
 				rankString(byOverhead, func(r row) scenario.ProtocolName { return r.proto }))
 		}
 	}
-	return nil
+	return err
 }

@@ -1,0 +1,56 @@
+package resilience
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// ExecFlags is the resilience flag set shared by the sweep commands
+// (ldrbench, ldrchaos, ldrfuzz): journaled resumable sweeps, per-cell
+// watchdogs, and keep-going quarantine. Register binds the flags;
+// OpenJournal validates the combination and opens the journal.
+type ExecFlags struct {
+	JournalDir  string
+	Resume      bool
+	CellTimeout time.Duration
+	KeepGoing   bool
+}
+
+// Register binds the shared resilience flags onto fs.
+func (f *ExecFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.JournalDir, "journal", "",
+		"journal directory: completed cells are durably recorded there, so a killed sweep resumes with -resume instead of starting over")
+	fs.BoolVar(&f.Resume, "resume", false,
+		"resume the sweep recorded in -journal, loading completed cells instead of re-running them")
+	fs.DurationVar(&f.CellTimeout, "cell-timeout", 0,
+		"per-cell watchdog base deadline, scaled by cell size (0 = no watchdog); a hung cell is interrupted and reported instead of wedging the sweep")
+	fs.BoolVar(&f.KeepGoing, "keep-going", false,
+		"quarantine failing cells and finish the sweep; failures land in the journal's manifest.json with auto-emitted reproducers")
+}
+
+// OpenJournal validates the flag combination and opens the journal (nil
+// when -journal is unset). Resuming requires a journal, and a journal
+// that already holds records requires an explicit -resume — so stale
+// records from an earlier sweep are never silently mistaken for this
+// one's.
+func (f *ExecFlags) OpenJournal() (*Journal, error) {
+	if f.CellTimeout < 0 {
+		return nil, fmt.Errorf("-cell-timeout must not be negative (got %v)", f.CellTimeout)
+	}
+	if f.Resume && f.JournalDir == "" {
+		return nil, fmt.Errorf("-resume requires -journal DIR (there is nothing to resume from)")
+	}
+	if f.JournalDir == "" {
+		return nil, nil
+	}
+	j, err := Open(f.JournalDir)
+	if err != nil {
+		return nil, err
+	}
+	if !f.Resume && j.Len() > 0 {
+		return nil, fmt.Errorf("journal %s already holds %d completed cell(s); pass -resume to continue that sweep, or point -journal at an empty directory",
+			j.Dir(), j.Len())
+	}
+	return j, nil
+}

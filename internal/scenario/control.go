@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"sync"
+
+	"github.com/manetlab/ldr/internal/routing"
+	"github.com/manetlab/ldr/internal/sim"
+)
+
+// Control is a goroutine-safe remote stop for scenario runs. A run bound
+// to a Control stops at the next event boundary once Interrupt is called,
+// finishes its teardown normally, and reports Interrupted in its Result —
+// so a SIGINT or a sweep watchdog yields partial metrics instead of a
+// torn process. One Control may be bound to many runs (ldrsim -trials
+// shares one across every cell), and Interrupt before Bind still takes
+// effect, so there is no race between installing a signal handler and
+// starting the simulation.
+type Control struct {
+	mu          sync.Mutex
+	interrupted bool
+	sims        []*sim.Simulator
+}
+
+// NewControl returns an un-triggered Control.
+func NewControl() *Control { return &Control{} }
+
+// Interrupt asks every bound run — current and future — to stop at its
+// next event boundary. Idempotent and safe from any goroutine.
+func (c *Control) Interrupt() {
+	c.mu.Lock()
+	c.interrupted = true
+	sims := append([]*sim.Simulator(nil), c.sims...)
+	c.mu.Unlock()
+	for _, s := range sims {
+		s.Interrupt()
+	}
+}
+
+// Interrupted reports whether Interrupt has been called.
+func (c *Control) Interrupted() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interrupted
+}
+
+// Bind attaches a simulator so a later (or earlier) Interrupt reaches it.
+// Nil receivers and nil simulators are ignored, so callers can thread an
+// optional Control without guarding every call site.
+func (c *Control) Bind(s *sim.Simulator) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sims = append(c.sims, s)
+	fired := c.interrupted
+	c.mu.Unlock()
+	if fired {
+		s.Interrupt()
+	}
+}
+
+// registeredProtocols holds protocol constructors installed at runtime
+// via RegisterProtocol, consulted by Factory after the built-in names.
+var (
+	registeredMu        sync.Mutex
+	registeredProtocols map[ProtocolName]routing.ProtocolFactory
+)
+
+// RegisterProtocol installs a custom protocol constructor under name,
+// overriding nothing built in (built-in names win in Factory). The
+// resilience harness uses it to inject deliberately misbehaving
+// protocols — e.g. one that panics mid-run — so quarantine and
+// reproducer paths can be exercised end to end; embedders can use it to
+// sweep experimental protocols without forking the scenario package.
+func RegisterProtocol(name ProtocolName, f routing.ProtocolFactory) {
+	registeredMu.Lock()
+	defer registeredMu.Unlock()
+	if registeredProtocols == nil {
+		registeredProtocols = make(map[ProtocolName]routing.ProtocolFactory)
+	}
+	registeredProtocols[name] = f
+}
+
+// registeredFactory looks up a runtime-registered protocol.
+func registeredFactory(name ProtocolName) (routing.ProtocolFactory, bool) {
+	registeredMu.Lock()
+	defer registeredMu.Unlock()
+	f, ok := registeredProtocols[name]
+	return f, ok
+}

@@ -266,6 +266,11 @@ type Result struct {
 	// Violations samples the first audited violations (nil when auditing
 	// was off or the run was clean); counters live in the Collector.
 	Violations []fault.Record
+
+	// Interrupted reports that the run was stopped early at an event
+	// boundary (Control.Interrupt — a SIGINT handler or sweep watchdog).
+	// The metrics cover only the virtual time actually simulated.
+	Interrupted bool `json:"Interrupted,omitempty"`
 }
 
 // SeqnoReporter is implemented by protocols that track destination
@@ -362,9 +367,20 @@ func BuildInstrumented(cfg Config) (*routing.Network, *traffic.Generator, *Instr
 
 // Run executes the scenario to completion and returns its metrics.
 func Run(cfg Config) (Result, error) {
+	return RunWithControl(cfg)
+}
+
+// RunWithControl is Run with zero or more Controls bound to the run's
+// simulator, so signal handlers and sweep watchdogs can stop it at an
+// event boundary. Nil controls are ignored. An interrupted run is not an
+// error: it returns the partial Result with Interrupted set.
+func RunWithControl(cfg Config, ctls ...*Control) (Result, error) {
 	nw, gen, inst, err := BuildInstrumented(cfg)
 	if err != nil {
 		return Result{}, err
+	}
+	for _, c := range ctls {
+		c.Bind(nw.Sim)
 	}
 	nw.Start()
 	gen.Start()
@@ -378,7 +394,12 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	nw.Stop()
-	res := Result{Config: cfg, Collector: nw.Collector, Events: nw.Sim.EventsFired()}
+	res := Result{
+		Config:      cfg,
+		Collector:   nw.Collector,
+		Events:      nw.Sim.EventsFired(),
+		Interrupted: nw.Sim.Interrupted(),
+	}
 	if inst.Injector != nil {
 		res.Faults = inst.Injector.Stats
 	}
@@ -497,6 +518,9 @@ func Factory(name ProtocolName, ldrCfg *core.Config) (routing.ProtocolFactory, e
 		cfg.JitterQueue = false
 		return func(n *routing.Node) routing.Protocol { return olsr.New(n, cfg) }, nil
 	default:
+		if f, ok := registeredFactory(name); ok {
+			return f, nil
+		}
 		return nil, fmt.Errorf("scenario: unknown protocol %q", name)
 	}
 }

@@ -20,6 +20,7 @@ package sim
 
 import (
 	"container/heap"
+	"sync/atomic"
 	"time"
 
 	"github.com/manetlab/ldr/internal/runpool"
@@ -88,6 +89,12 @@ type Simulator struct {
 	fired  uint64
 	halted bool
 	pool   runpool.Pool[Event] // recycled events, transient and timed alike
+
+	// interrupted is the only cross-goroutine door into the engine: other
+	// goroutines (signal handlers, sweep watchdogs) may set it at any time,
+	// and the run loop checks it between events. Everything else on the
+	// struct stays single-threaded.
+	interrupted atomic.Bool
 }
 
 // New returns a simulator with its clock at zero.
@@ -213,10 +220,15 @@ func (s *Simulator) Step() bool {
 }
 
 // Run executes events until the clock would pass `until`, the queue
-// drains, or Halt is called. Events scheduled exactly at `until` still
-// fire. The clock is left at min(until, time of last event).
+// drains, Halt is called, or Interrupt is observed. Events scheduled
+// exactly at `until` still fire. The clock is left at min(until, time of
+// last event) — or wherever the last event left it if the run was
+// interrupted, so partial metrics report the virtual time they cover.
 func (s *Simulator) Run(until time.Duration) {
 	for !s.halted && s.queue.Len() > 0 {
+		if s.interrupted.Load() {
+			return
+		}
 		next := s.queue.peek()
 		if next.at > until {
 			s.now = until
@@ -224,14 +236,18 @@ func (s *Simulator) Run(until time.Duration) {
 		}
 		s.Step()
 	}
+	if s.interrupted.Load() {
+		return
+	}
 	if s.now < until {
 		s.now = until
 	}
 }
 
-// RunAll executes events until the queue drains or Halt is called.
+// RunAll executes events until the queue drains, Halt is called, or
+// Interrupt is observed.
 func (s *Simulator) RunAll() {
-	for s.Step() {
+	for !s.interrupted.Load() && s.Step() {
 	}
 }
 
@@ -241,6 +257,16 @@ func (s *Simulator) Halt() { s.halted = true }
 
 // Resume clears a Halt.
 func (s *Simulator) Resume() { s.halted = false }
+
+// Interrupt asks the run loop to stop at the next event boundary. Unlike
+// Halt it is safe to call from any goroutine — signal handlers and sweep
+// watchdogs use it to end a run cooperatively without tearing shared
+// state. The current event always finishes; no event is cut in half.
+func (s *Simulator) Interrupt() { s.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called. Safe for
+// concurrent use.
+func (s *Simulator) Interrupted() bool { return s.interrupted.Load() }
 
 // Pending returns the number of events still queued.
 func (s *Simulator) Pending() int { return s.queue.Len() }

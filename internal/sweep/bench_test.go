@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/manetlab/ldr/internal/resilience"
 	"github.com/manetlab/ldr/internal/scenario"
 	"github.com/manetlab/ldr/internal/sweep"
 )
@@ -59,3 +60,39 @@ func BenchmarkSweepWorkers4(b *testing.B) { benchSweep(b, 4) }
 
 // BenchmarkSweepMaxProcs uses the default worker count (GOMAXPROCS).
 func BenchmarkSweepMaxProcs(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSweepJournaled is BenchmarkSweepWorkers4 with journaling on:
+// the delta against the plain run is the full resilience overhead (spec
+// hashing, JSON encoding, fsync'd record writes). Each iteration gets a
+// fresh journal directory — reusing one would measure journal loads, not
+// journaled runs.
+func BenchmarkSweepJournaled(b *testing.B) {
+	cfgs := benchCells()
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		j, err := resilience.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := sweep.Run(cfgs, sweep.Options{
+			Workers: 4,
+			Exec:    sweep.ExecOptions{Journal: j},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			events += r.Events
+		}
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(b.N*len(cfgs))/secs, "cells/sec")
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
